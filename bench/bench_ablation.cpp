@@ -1,0 +1,63 @@
+// Ablation bench (beyond the paper's figures): isolates the contribution
+// of individual DAPES design choices that DESIGN.md calls out, at one
+// fixed WiFi range:
+//   * response suppression window (WifiFace random data timer) on/off,
+//   * interest pipeline depth,
+//   * advertisement mode x PEBA interaction,
+//   * RPF vs sequential fetch ("no RPF" = same-start, no bitmap info
+//     preference is approximated by the encounter strategy with history 1).
+#include "bench_common.hpp"
+
+using namespace dapes;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::parse(argc, argv);
+  const double range = 60.0;
+
+  struct Config {
+    const char* label;
+    void (*apply)(harness::ScenarioParams&);
+  };
+  const std::vector<Config> configs = {
+      {"baseline", [](harness::ScenarioParams&) {}},
+      {"no-suppression",
+       [](harness::ScenarioParams& p) {
+         p.peer.tx_window = common::Duration::microseconds(1);
+       }},
+      {"window=1",
+       [](harness::ScenarioParams& p) { p.peer.interest_window = 1; }},
+      {"window=16",
+       [](harness::ScenarioParams& p) { p.peer.interest_window = 16; }},
+      {"bitmaps-first+noPEBA",
+       [](harness::ScenarioParams& p) {
+         p.peer.advertisement_mode = core::AdvertisementMode::kBitmapsFirst;
+         p.peer.bitmaps_before_data = 0;
+         p.peer.use_peba = false;
+       }},
+      {"history=1",
+       [](harness::ScenarioParams& p) {
+         p.peer.rpf = core::RpfKind::kEncounterBased;
+         p.peer.encounter_history = 1;
+         p.peer.random_start = false;
+       }},
+  };
+
+  std::printf("\n=== Ablation: design-choice contributions (range %.0f m) ===\n",
+              range);
+  std::printf("%-22s %16s %18s %14s\n", "configuration", "download(s)",
+              "transmissions(k)", "completion");
+  for (const auto& cfg : configs) {
+    harness::ScenarioParams p = args.scenario();
+    p.wifi_range_m = range;
+    cfg.apply(p);
+    auto trials = harness::run_dapes_trials(p, args.trials);
+    double time = harness::aggregate(trials, harness::metric_download_time);
+    double tx = harness::aggregate(trials, harness::metric_transmissions_k);
+    double done = 0;
+    for (const auto& t : trials) done += t.completion_fraction;
+    done /= static_cast<double>(trials.size());
+    std::printf("%-22s %16.1f %18.2f %13.1f%%\n", cfg.label, time, tx,
+                100.0 * done);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared command-line handling for the figure/table benches.
+//
+// Every bench accepts:
+//   --trials N       trials per configuration (default 2; paper used 10)
+//   --quick          smaller workload + fewer configurations (CI-speed)
+//   --paper-scale    run at the paper's full collection size and data rate
+//   --seed S         base RNG seed
+//
+// The default configuration is the scaled setup described in
+// EXPERIMENTS.md: collection size and radio rate both divided by 8, which
+// preserves the airtime/contact-time ratio that shapes every figure.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/metrics.hpp"
+#include "harness/scenario.hpp"
+
+namespace dapes::bench {
+
+struct BenchArgs {
+  int trials = 2;
+  bool quick = false;
+  bool paper_scale = false;
+  uint64_t seed = 1;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+        args.trials = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        args.quick = true;
+      } else if (std::strcmp(argv[i], "--paper-scale") == 0) {
+        args.paper_scale = true;
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        args.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf(
+            "usage: %s [--trials N] [--quick] [--paper-scale] [--seed S]\n",
+            argv[0]);
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+
+  /// Baseline scenario with scaling applied.
+  harness::ScenarioParams scenario() const {
+    harness::ScenarioParams p;
+    p.seed = seed;
+    if (paper_scale) {
+      p.file_size_bytes = 1024 * 1024;
+      p.data_rate_bps = 11e6;
+    }
+    if (quick) {
+      p.file_size_bytes = 32 * 1024;
+      p.sim_limit_s = 600.0;
+    }
+    return p;
+  }
+
+  /// WiFi ranges to sweep (paper: 20..100 m).
+  std::vector<double> ranges() const {
+    if (quick) return {40.0, 80.0};
+    return {20.0, 40.0, 60.0, 80.0, 100.0};
+  }
+};
+
+}  // namespace dapes::bench

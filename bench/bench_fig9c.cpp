@@ -1,0 +1,39 @@
+// Figure 9c — download time when peers exchange bitmaps FIRST and only
+// then download data, for 1-4 exchanged bitmaps and "all bitmaps"
+// (every peer within communication range).
+//
+// Paper shape to verify: 2-3 bitmaps are best at short ranges, 4 at long
+// ranges; "all bitmaps" wastes contact time and is worst at small ranges.
+#include "bench_common.hpp"
+
+using namespace dapes;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::parse(argc, argv);
+
+  const std::vector<std::pair<const char*, int>> configs = {
+      {"1 bitmap", 1}, {"2 bitmaps", 2}, {"3 bitmaps", 3},
+      {"4 bitmaps", 4}, {"all bitmaps", 0},
+  };
+
+  std::vector<double> xs = args.ranges();
+  std::vector<harness::Series> series;
+  for (const auto& [label, b] : configs) {
+    harness::Series s;
+    s.label = label;
+    for (double range : xs) {
+      harness::ScenarioParams p = args.scenario();
+      p.wifi_range_m = range;
+      p.peer.advertisement_mode = core::AdvertisementMode::kBitmapsFirst;
+      p.peer.bitmaps_before_data = b;
+      auto trials = harness::run_dapes_trials(p, args.trials);
+      s.y.push_back(harness::aggregate(trials, harness::metric_download_time));
+    }
+    series.push_back(std::move(s));
+  }
+
+  harness::print_figure(
+      "Fig. 9c: download time, bitmaps exchanged before data download",
+      "range_m", xs, series, "seconds (p90 over trials)");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 9d — download time when peers INTERLEAVE bitmap and data
+// exchanges: data fetching starts as soon as the first bitmap is known
+// while further bitmaps keep arriving.
+//
+// Paper shape to verify: interleaving beats bitmaps-first (Fig. 9c) by
+// 16-23%; more bitmaps still help (the RPF strategy gets more accurate).
+//
+// The "N bitmaps" label bounds how many bitmaps the advertisement round
+// aims to collect; with interleaving the gate opens at the first one, so
+// the series mostly differ in advertisement traffic.
+#include "bench_common.hpp"
+
+using namespace dapes;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::parse(argc, argv);
+
+  const std::vector<std::pair<const char*, int>> configs = {
+      {"1 bitmap", 1}, {"2 bitmaps", 2}, {"3 bitmaps", 3},
+      {"4 bitmaps", 4}, {"all bitmaps", 0},
+  };
+
+  std::vector<double> xs = args.ranges();
+  std::vector<harness::Series> series;
+  for (const auto& [label, b] : configs) {
+    harness::Series s;
+    s.label = label;
+    for (double range : xs) {
+      harness::ScenarioParams p = args.scenario();
+      p.wifi_range_m = range;
+      p.peer.advertisement_mode = core::AdvertisementMode::kInterleaved;
+      p.peer.bitmaps_before_data = b;
+      auto trials = harness::run_dapes_trials(p, args.trials);
+      s.y.push_back(harness::aggregate(trials, harness::metric_download_time));
+    }
+    series.push_back(std::move(s));
+  }
+
+  harness::print_figure(
+      "Fig. 9d: download time, bitmap exchanges interleaved with data",
+      "range_m", xs, series, "seconds (p90 over trials)");
+  return 0;
+}

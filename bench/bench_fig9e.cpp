@@ -1,0 +1,36 @@
+// Figure 9e — download time vs number of files per collection (each file
+// 1 MB at paper scale; scaled by kDefaultScale here).
+//
+// Paper shape to verify: download time grows with the number of files;
+// the DAPES properties hold as the collection grows.
+#include "bench_common.hpp"
+
+using namespace dapes;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::parse(argc, argv);
+
+  std::vector<size_t> file_counts = {10, 30, 50, 70};
+  if (args.quick) file_counts = {10, 30};
+
+  std::vector<double> xs = args.ranges();
+  std::vector<harness::Series> series;
+  for (size_t files : file_counts) {
+    harness::Series s;
+    s.label = "files=" + std::to_string(files);
+    for (double range : xs) {
+      harness::ScenarioParams p = args.scenario();
+      p.wifi_range_m = range;
+      p.files = files;
+      p.sim_limit_s = p.sim_limit_s * (1.0 + static_cast<double>(files) / 20.0);
+      auto trials = harness::run_dapes_trials(p, args.trials);
+      s.y.push_back(harness::aggregate(trials, harness::metric_download_time));
+    }
+    series.push_back(std::move(s));
+  }
+
+  harness::print_figure(
+      "Fig. 9e: download time, varying number of files (1 MB each, scaled)",
+      "range_m", xs, series, "seconds (p90 over trials)");
+  return 0;
+}

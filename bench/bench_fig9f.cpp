@@ -1,0 +1,36 @@
+// Figure 9f — download time vs file size (ten files per collection; file
+// sizes 1/5/10/15 MB at paper scale, scaled by kDefaultScale here).
+//
+// Paper shape to verify: download time grows with the collection size and
+// the growth is roughly proportional once contacts saturate.
+#include "bench_common.hpp"
+
+using namespace dapes;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::parse(argc, argv);
+
+  std::vector<size_t> sizes_mb = {1, 5, 10, 15};
+  if (args.quick) sizes_mb = {1, 5};
+
+  std::vector<double> xs = args.ranges();
+  std::vector<harness::Series> series;
+  for (size_t mb : sizes_mb) {
+    harness::Series s;
+    s.label = "file=" + std::to_string(mb) + "MB";
+    for (double range : xs) {
+      harness::ScenarioParams p = args.scenario();
+      p.wifi_range_m = range;
+      p.file_size_bytes = mb * 1024 * 1024 / harness::kDefaultScale;
+      p.sim_limit_s = p.sim_limit_s * (1.0 + static_cast<double>(mb) / 4.0);
+      auto trials = harness::run_dapes_trials(p, args.trials);
+      s.y.push_back(harness::aggregate(trials, harness::metric_download_time));
+    }
+    series.push_back(std::move(s));
+  }
+
+  harness::print_figure(
+      "Fig. 9f: download time, varying file size (10 files, scaled)",
+      "range_m", xs, series, "seconds (p90 over trials)");
+  return 0;
+}

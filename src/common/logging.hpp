@@ -1,0 +1,58 @@
+// Tiny leveled logger.
+//
+// Simulation runs produce a lot of events; logging defaults to `kWarn` so
+// benches stay quiet, while tests and examples can dial verbosity up to
+// trace protocol exchanges. Not thread-safe by design — the simulator is
+// single-threaded and deterministic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dapes::common {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one line (used by the LOG macro; callers normally use the macro).
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace dapes::common
+
+#define DAPES_LOG(level, component)                                   \
+  if (static_cast<int>(level) < static_cast<int>(::dapes::common::log_level())) \
+    ;                                                                 \
+  else                                                                \
+    ::dapes::common::detail::LogStream(level, component)
+
+#define DAPES_LOG_TRACE(c) DAPES_LOG(::dapes::common::LogLevel::kTrace, c)
+#define DAPES_LOG_DEBUG(c) DAPES_LOG(::dapes::common::LogLevel::kDebug, c)
+#define DAPES_LOG_INFO(c) DAPES_LOG(::dapes::common::LogLevel::kInfo, c)
+#define DAPES_LOG_WARN(c) DAPES_LOG(::dapes::common::LogLevel::kWarn, c)
+#define DAPES_LOG_ERROR(c) DAPES_LOG(::dapes::common::LogLevel::kError, c)

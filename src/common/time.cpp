@@ -1,0 +1,13 @@
+#include "common/time.hpp"
+
+#include <cstdio>
+
+namespace dapes::common {
+
+std::string format_time(TimePoint t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", t.to_seconds());
+  return buf;
+}
+
+}  // namespace dapes::common

@@ -1,0 +1,64 @@
+#include "crypto/keychain.hpp"
+
+#include "common/bytes.hpp"
+
+namespace dapes::crypto {
+
+Signature PrivateKey::sign(std::string_view name,
+                           common::BytesView content) const {
+  return Signature{id_, KeyChain::compute_mac(secret_, name, content)};
+}
+
+Digest KeyChain::compute_mac(const Digest& secret, std::string_view name,
+                             common::BytesView content) {
+  Sha256 ctx;
+  ctx.update(secret.view());
+  ctx.update(name);
+  // Length-prefix the name to prevent (name, content) boundary ambiguity.
+  common::Bytes len;
+  common::append_be(len, name.size(), 8);
+  ctx.update(common::BytesView(len.data(), len.size()));
+  ctx.update(content);
+  return ctx.final_digest();
+}
+
+PrivateKey KeyChain::generate_key(const std::string& owner_name,
+                                  uint64_t seed) {
+  Sha256 secret_ctx;
+  secret_ctx.update("dapes-key-secret/");
+  secret_ctx.update(owner_name);
+  common::Bytes seed_bytes;
+  common::append_be(seed_bytes, seed, 8);
+  secret_ctx.update(common::BytesView(seed_bytes.data(), seed_bytes.size()));
+  Digest secret = secret_ctx.final_digest();
+
+  Sha256 id_ctx;
+  id_ctx.update("dapes-key-id/");
+  id_ctx.update(secret.view());
+  KeyId id{id_ctx.final_digest()};
+
+  keys_[id] = secret;
+  return PrivateKey(id, secret);
+}
+
+void KeyChain::import_key(const KeyId& id, const Digest& secret) {
+  keys_[id] = secret;
+}
+
+bool KeyChain::verify(std::string_view name, common::BytesView content,
+                      const Signature& sig) const {
+  auto it = keys_.find(sig.signer);
+  if (it == keys_.end()) return false;
+  return compute_mac(it->second, name, content) == sig.mac;
+}
+
+void KeyChain::add_trust_anchor(const KeyId& id) { anchors_[id] = true; }
+
+bool KeyChain::is_trusted(const KeyId& id) const {
+  auto it = anchors_.find(id);
+  return it != anchors_.end() && it->second;
+}
+
+bool KeyChain::knows(const KeyId& id) const { return keys_.contains(id); }
+
+}  // namespace dapes::crypto

@@ -1,0 +1,106 @@
+// Key management and packet signing.
+//
+// The paper assumes each peer owns a public/private keypair and that peers
+// share "local" trust anchors so they can authenticate a collection
+// producer's metadata signature. We reproduce those *semantics* (key
+// identity, sign, verify, trust-anchor check) with a deterministic
+// stand-in scheme rather than a full RSA/ECDSA implementation:
+//
+//   signature = SHA256(secret_key || name || content)
+//
+// Verification recomputes the MAC using the secret looked up by KeyId in a
+// registry that models "knowing the producer's public key". DESIGN.md
+// documents this substitution; every call site uses the same API a real
+// scheme would.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/sha256.hpp"
+
+namespace dapes::crypto {
+
+/// Identifies a keypair (derived from the owner name, collision-checked
+/// inside the registry).
+struct KeyId {
+  Digest id;
+
+  bool operator==(const KeyId&) const = default;
+  auto operator<=>(const KeyId&) const = default;
+  std::string to_hex() const { return id.to_hex(); }
+};
+
+/// A detached signature over (name, content).
+struct Signature {
+  KeyId signer;
+  Digest mac;
+
+  bool operator==(const Signature&) const = default;
+};
+
+/// A private key handle. The secret never leaves the struct.
+class PrivateKey {
+ public:
+  PrivateKey() = default;
+  PrivateKey(KeyId id, Digest secret) : id_(id), secret_(secret) {}
+
+  const KeyId& id() const { return id_; }
+
+  Signature sign(std::string_view name, common::BytesView content) const;
+
+  /// Verification material. With a real asymmetric scheme this would be
+  /// the public half; the MAC stand-in shares the secret (see the header
+  /// comment and DESIGN.md).
+  const Digest& material() const { return secret_; }
+
+ private:
+  KeyId id_;
+  Digest secret_;
+};
+
+/// Registry of known keys + trust anchors.
+///
+/// In a deployment this is the peer's keychain: its own keys, the public
+/// keys it has learned, and the set of locally-established trust anchors
+/// (paper §III). `verify` checks the cryptographic binding; `is_trusted`
+/// checks the anchor set.
+class KeyChain {
+ public:
+  /// Create a keypair for @p owner_name ("/residents/alice"). Deterministic
+  /// given (owner_name, seed) so tests and simulations are reproducible.
+  PrivateKey generate_key(const std::string& owner_name, uint64_t seed = 0);
+
+  /// Import another party's key material (models learning a public key).
+  void import_key(const KeyId& id, const Digest& secret);
+  void import_key(const PrivateKey& key) {
+    import_key(key.id(), key.material());
+  }
+
+  /// Cryptographic verification of a signature over (name, content).
+  /// Returns false for unknown signers.
+  bool verify(std::string_view name, common::BytesView content,
+              const Signature& sig) const;
+
+  /// Trust-anchor management (paper assumes common local anchors).
+  void add_trust_anchor(const KeyId& id);
+  bool is_trusted(const KeyId& id) const;
+
+  /// Whether the key is known at all (verification possible).
+  bool knows(const KeyId& id) const;
+
+  size_t key_count() const { return keys_.size(); }
+
+  /// MAC used by both sign and verify. Exposed for PrivateKey::sign; not
+  /// part of the public protocol surface.
+  static Digest compute_mac(const Digest& secret, std::string_view name,
+                            common::BytesView content);
+
+ private:
+
+  std::map<KeyId, Digest> keys_;       // KeyId -> secret material
+  std::map<KeyId, bool> anchors_;      // trust anchors
+};
+
+}  // namespace dapes::crypto

@@ -1,0 +1,104 @@
+#include "crypto/merkle.hpp"
+
+#include <stdexcept>
+
+namespace dapes::crypto {
+
+namespace {
+
+std::vector<Digest> next_level(const std::vector<Digest>& level) {
+  std::vector<Digest> parents;
+  parents.reserve((level.size() + 1) / 2);
+  size_t i = 0;
+  for (; i + 1 < level.size(); i += 2) {
+    parents.push_back(Sha256::hash_pair(level[i], level[i + 1]));
+  }
+  if (i < level.size()) {
+    // Unpaired node: promote unchanged.
+    parents.push_back(level[i]);
+  }
+  return parents;
+}
+
+}  // namespace
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) {
+    root_ = Sha256::hash(std::string_view{});
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    levels_.push_back(next_level(levels_.back()));
+  }
+  root_ = levels_.back().front();
+}
+
+MerkleTree MerkleTree::from_payloads(
+    const std::vector<common::Bytes>& payloads) {
+  std::vector<Digest> leaves;
+  leaves.reserve(payloads.size());
+  for (const auto& p : payloads) {
+    leaves.push_back(Sha256::hash(common::BytesView(p.data(), p.size())));
+  }
+  return MerkleTree(std::move(leaves));
+}
+
+MerkleProof MerkleTree::prove(size_t index) const {
+  if (index >= leaf_count_) {
+    throw std::out_of_range("MerkleTree::prove: leaf index out of range");
+  }
+  MerkleProof proof;
+  proof.leaf_index = index;
+  proof.leaf_count = leaf_count_;
+  size_t pos = index;
+  for (size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    if (sibling < level.size()) {
+      proof.siblings.push_back(level[sibling]);
+    } else {
+      // Promoted node this level: no sibling hash consumed. Record nothing;
+      // verification mirrors the promotion rule via (pos, level size).
+    }
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Digest& leaf, const MerkleProof& proof,
+                        const Digest& root) {
+  if (proof.leaf_count == 0) return false;
+  if (proof.leaf_index >= proof.leaf_count) return false;
+
+  Digest current = leaf;
+  size_t pos = proof.leaf_index;
+  size_t level_size = proof.leaf_count;
+  size_t sibling_idx = 0;
+
+  while (level_size > 1) {
+    size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    if (sibling < level_size) {
+      if (sibling_idx >= proof.siblings.size()) return false;
+      const Digest& sib = proof.siblings[sibling_idx++];
+      current = (pos % 2 == 0) ? Sha256::hash_pair(current, sib)
+                               : Sha256::hash_pair(sib, current);
+    }
+    // else: promoted, digest carries upward unchanged.
+    pos /= 2;
+    level_size = (level_size + 1) / 2;
+  }
+  return sibling_idx == proof.siblings.size() && current == root;
+}
+
+Digest MerkleTree::compute_root(const std::vector<Digest>& leaves) {
+  if (leaves.empty()) return Sha256::hash(std::string_view{});
+  std::vector<Digest> level = leaves;
+  while (level.size() > 1) {
+    level = next_level(level);
+  }
+  return level.front();
+}
+
+}  // namespace dapes::crypto

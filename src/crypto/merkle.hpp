@@ -1,0 +1,60 @@
+// Merkle tree over packet digests (paper §IV-C, "Merkle tree based
+// format").
+//
+// The collection producer builds one tree per file; the metadata carries
+// only each tree's root hash, keeping the metadata small enough for a
+// single network-layer packet. A downloader can verify a whole file once
+// all packets arrive (recompute the root), or verify a single packet early
+// if it also obtains an inclusion proof.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace dapes::crypto {
+
+/// Inclusion proof: sibling hashes from leaf to root plus the leaf index.
+struct MerkleProof {
+  size_t leaf_index = 0;
+  size_t leaf_count = 0;
+  std::vector<Digest> siblings;  // ordered leaf-level first
+};
+
+/// Immutable Merkle tree built over a sequence of leaf digests.
+///
+/// Odd nodes are promoted (paired with themselves is a known second
+/// preimage hazard; promotion avoids it): a level of n nodes produces
+/// ceil(n/2) parents where the final unpaired node is carried up as-is.
+class MerkleTree {
+ public:
+  /// Build from precomputed leaf digests. Empty input yields the digest of
+  /// the empty string as root (degenerate but well-defined).
+  explicit MerkleTree(std::vector<Digest> leaves);
+
+  /// Build by hashing raw packet payloads.
+  static MerkleTree from_payloads(const std::vector<common::Bytes>& payloads);
+
+  const Digest& root() const { return root_; }
+  size_t leaf_count() const { return leaf_count_; }
+
+  /// Inclusion proof for leaf @p index. @throws std::out_of_range.
+  MerkleProof prove(size_t index) const;
+
+  /// Verify that @p leaf is at @p proof.leaf_index under @p root.
+  static bool verify(const Digest& leaf, const MerkleProof& proof,
+                     const Digest& root);
+
+  /// Recompute a root directly from leaves (no tree storage) — used by
+  /// downloaders that verify a file after fetching all of its packets.
+  static Digest compute_root(const std::vector<Digest>& leaves);
+
+ private:
+  // levels_[0] = leaves, levels_.back() = {root}.
+  std::vector<std::vector<Digest>> levels_;
+  Digest root_;
+  size_t leaf_count_ = 0;
+};
+
+}  // namespace dapes::crypto

@@ -1,0 +1,71 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// DAPES binds packet content to names via digests: the packet-digest
+// metadata format carries one SHA-256 per packet, and the Merkle-tree
+// format hashes packets into a tree whose root is signed. This is the
+// single hash primitive for the whole repository.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace dapes::crypto {
+
+/// 32-byte SHA-256 digest with value semantics.
+struct Digest {
+  std::array<uint8_t, 32> bytes{};
+
+  bool operator==(const Digest&) const = default;
+  auto operator<=>(const Digest&) const = default;
+
+  std::string to_hex() const;
+  static Digest from_hex(std::string_view hex);
+
+  /// View over the digest bytes (for embedding into wire formats).
+  common::BytesView view() const { return common::BytesView(bytes.data(), bytes.size()); }
+};
+
+/// Incremental SHA-256 context. Usage: update()* then final_digest().
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(common::BytesView data);
+  void update(std::string_view str);
+
+  /// Finalizes and returns the digest. The context must not be reused
+  /// afterwards (reset() starts a fresh hash).
+  Digest final_digest();
+
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(common::BytesView data);
+  static Digest hash(std::string_view str);
+
+  /// hash(a || b) — used for Merkle interior nodes.
+  static Digest hash_pair(const Digest& a, const Digest& b);
+
+ private:
+  void process_block(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  uint64_t bit_count_ = 0;
+  std::array<uint8_t, 64> buffer_{};
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace dapes::crypto
+
+template <>
+struct std::hash<dapes::crypto::Digest> {
+  size_t operator()(const dapes::crypto::Digest& d) const noexcept {
+    // The digest is already uniform; fold the first 8 bytes.
+    size_t h = 0;
+    for (int i = 0; i < 8; ++i) h = (h << 8) | d.bytes[i];
+    return h;
+  }
+};

@@ -1,0 +1,127 @@
+#include "dapes/bitmap.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dapes::core {
+
+CollectionLayout::CollectionLayout(std::vector<FileEntry> files)
+    : files_(std::move(files)) {
+  offsets_.reserve(files_.size());
+  for (const auto& f : files_) {
+    offsets_.push_back(total_);
+    total_ += f.packet_count;
+  }
+}
+
+std::optional<size_t> CollectionLayout::index_of(const std::string& file_name,
+                                                 uint64_t seq) const {
+  for (size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].name == file_name) {
+      if (seq >= files_[i].packet_count) return std::nullopt;
+      return offsets_[i] + seq;
+    }
+  }
+  return std::nullopt;
+}
+
+CollectionLayout::Location CollectionLayout::locate(size_t global_index) const {
+  if (global_index >= total_) {
+    throw std::out_of_range("CollectionLayout::locate: index out of range");
+  }
+  // Linear scan: collections have tens of files at most.
+  for (size_t i = files_.size(); i-- > 0;) {
+    if (global_index >= offsets_[i]) {
+      return Location{files_[i].name, global_index - offsets_[i]};
+    }
+  }
+  throw std::out_of_range("CollectionLayout::locate: unreachable");
+}
+
+Bitmap::Bitmap(size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+bool Bitmap::test(size_t i) const {
+  if (i >= size_) throw std::out_of_range("Bitmap::test");
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void Bitmap::set(size_t i, bool value) {
+  if (i >= size_) throw std::out_of_range("Bitmap::set");
+  uint64_t mask = uint64_t{1} << (i % 64);
+  if (value) {
+    words_[i / 64] |= mask;
+  } else {
+    words_[i / 64] &= ~mask;
+  }
+}
+
+size_t Bitmap::count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+size_t Bitmap::count_set_and_missing_from(const Bitmap& other) const {
+  size_t total = 0;
+  size_t words = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < words; ++i) {
+    total += static_cast<size_t>(std::popcount(words_[i] & ~other.words_[i]));
+  }
+  for (size_t i = words; i < words_.size(); ++i) {
+    total += static_cast<size_t>(std::popcount(words_[i]));
+  }
+  return total;
+}
+
+std::vector<size_t> Bitmap::missing_indices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < size_; ++i) {
+    if (!test(i)) out.push_back(i);
+  }
+  return out;
+}
+
+void Bitmap::or_with(const Bitmap& other) {
+  size_t words = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < words; ++i) {
+    words_[i] |= other.words_[i];
+  }
+  // Bits beyond our size would be spurious; mask the tail word.
+  if (size_ % 64 != 0 && !words_.empty()) {
+    uint64_t tail_mask = (uint64_t{1} << (size_ % 64)) - 1;
+    words_.back() &= tail_mask;
+  }
+}
+
+common::Bytes Bitmap::encode() const {
+  common::Bytes out;
+  common::append_be(out, size_, 4);
+  size_t bytes = (size_ + 7) / 8;
+  out.reserve(4 + bytes);
+  for (size_t byte = 0; byte < bytes; ++byte) {
+    uint8_t b = 0;
+    for (size_t bit = 0; bit < 8; ++bit) {
+      size_t idx = byte * 8 + bit;
+      if (idx < size_ && test(idx)) {
+        b |= static_cast<uint8_t>(1u << (7 - bit));
+      }
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::optional<Bitmap> Bitmap::decode(common::BytesView wire) {
+  if (wire.size() < 4) return std::nullopt;
+  size_t size = static_cast<size_t>(common::read_be(wire, 0, 4));
+  size_t bytes = (size + 7) / 8;
+  if (wire.size() != 4 + bytes) return std::nullopt;
+  Bitmap bm(size);
+  for (size_t i = 0; i < size; ++i) {
+    uint8_t b = wire[4 + i / 8];
+    if ((b >> (7 - i % 8)) & 1) bm.set(i);
+  }
+  return bm;
+}
+
+}  // namespace dapes::core

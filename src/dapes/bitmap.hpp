@@ -1,0 +1,96 @@
+// Compact data advertisements (paper §IV-D).
+//
+// A Bitmap has one bit per packet in a collection, ordered by the relative
+// position of files in the metadata and of packets within each file: for
+// the Fig. 4 example, bit 0 is bridge-picture/0 ... bit 99 is
+// bridge-picture/99, bit 100 is bridge-location/0, bit 101 is
+// bridge-location/1. CollectionLayout owns that global-index <-> (file,
+// seq) mapping; Bitmap is the bit vector plus the set/rarity operations
+// the RPF strategies need.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dapes::core {
+
+/// Maps between global packet indices and (file, sequence) pairs using the
+/// file order fixed by the collection metadata.
+class CollectionLayout {
+ public:
+  struct FileEntry {
+    std::string name;
+    size_t packet_count = 0;
+  };
+
+  CollectionLayout() = default;
+  explicit CollectionLayout(std::vector<FileEntry> files);
+
+  size_t total_packets() const { return total_; }
+  size_t file_count() const { return files_.size(); }
+  const FileEntry& file(size_t i) const { return files_.at(i); }
+  const std::vector<FileEntry>& files() const { return files_; }
+
+  /// Global index of (file_name, seq); nullopt for unknown file / range.
+  std::optional<size_t> index_of(const std::string& file_name,
+                                 uint64_t seq) const;
+
+  /// Inverse mapping. @throws std::out_of_range for bad indices.
+  struct Location {
+    std::string file_name;
+    uint64_t seq = 0;
+  };
+  Location locate(size_t global_index) const;
+
+ private:
+  std::vector<FileEntry> files_;
+  std::vector<size_t> offsets_;  // cumulative start index per file
+  size_t total_ = 0;
+};
+
+/// One bit per packet: 1 = have, 0 = missing.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t size);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool test(size_t i) const;
+  void set(size_t i, bool value = true);
+
+  /// Number of set bits.
+  size_t count() const;
+  bool full() const { return count() == size_; }
+  bool none() const { return count() == 0; }
+  double completeness() const {
+    return size_ == 0 ? 0.0 : static_cast<double>(count()) / size_;
+  }
+
+  /// Indices set in *this but clear in @p other ("packets I have that are
+  /// missing from other") — the §IV-F prioritization metric.
+  size_t count_set_and_missing_from(const Bitmap& other) const;
+
+  /// Indices clear in *this ("packets I am missing").
+  std::vector<size_t> missing_indices() const;
+
+  /// Bitwise OR-accumulate (used to union previously transmitted bitmaps).
+  void or_with(const Bitmap& other);
+
+  /// Wire form: 4-byte big-endian bit count then packed bits (MSB first).
+  common::Bytes encode() const;
+  static std::optional<Bitmap> decode(common::BytesView wire);
+
+  bool operator==(const Bitmap&) const = default;
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace dapes::core

@@ -1,0 +1,56 @@
+// Nodes that forward but do not run the DAPES application.
+//
+// The paper's topology (Fig. 7) includes 10 "pure forwarders" — nodes with
+// only an NFD instance (§V-A) — and 10 intermediate nodes that understand
+// DAPES semantics (§V-B) but download nothing. ForwarderNode wires a
+// radio, a wifi face, and a forwarder with the chosen strategy; it is also
+// the building block for deploying relay infrastructure in applications.
+#pragma once
+
+#include <memory>
+
+#include "dapes/strategies.hpp"
+#include "ndn/forwarder.hpp"
+#include "sim/medium.hpp"
+#include "sim/radio.hpp"
+
+namespace dapes::core {
+
+enum class ForwarderKind {
+  kPureForwarder,       // NDN-only node (probabilistic relay + suppression)
+  kDapesIntermediate,   // overhears DAPES semantics (knowledge-driven)
+};
+
+class ForwarderNode {
+ public:
+  struct Options {
+    ForwarderKind kind = ForwarderKind::kPureForwarder;
+    double forward_probability = 0.2;
+    size_t cs_capacity = 4096;
+    common::Duration tx_window = common::Duration::milliseconds(20);
+  };
+
+  ForwarderNode(sim::Scheduler& sched, sim::Medium& medium,
+                sim::MobilityModel* mobility, common::Rng rng,
+                Options options);
+
+  ForwarderNode(const ForwarderNode&) = delete;
+  ForwarderNode& operator=(const ForwarderNode&) = delete;
+
+  sim::NodeId node() const { return node_; }
+  ndn::Forwarder& forwarder() { return *forwarder_; }
+  PureForwarderStrategy& strategy() { return *strategy_; }
+
+  /// Knowledge footprint (0 for pure forwarders), for Table-I reporting.
+  size_t state_bytes() const;
+
+ private:
+  sim::NodeId node_ = 0;
+  std::unique_ptr<sim::Radio> radio_;
+  std::unique_ptr<ndn::Forwarder> forwarder_;
+  std::shared_ptr<ndn::WifiFace> wifi_face_;
+  PureForwarderStrategy* strategy_ = nullptr;       // owned by forwarder
+  DapesIntermediateStrategy* intermediate_ = nullptr;  // non-null if kind==kDapesIntermediate
+};
+
+}  // namespace dapes::core

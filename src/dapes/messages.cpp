@@ -1,0 +1,149 @@
+#include "dapes/messages.hpp"
+
+#include "ndn/packet.hpp"
+#include "ndn/tlv.hpp"
+
+namespace dapes::core {
+
+namespace {
+
+// Application TLV types for control messages (disjoint from metadata's).
+enum MsgTlv : uint64_t {
+  kPeerId = 150,
+  kMetadataName = 151,
+  kCollectionName = 152,
+  kRound = 153,
+  kLayoutEntry = 154,
+  kLayoutFileName = 155,
+  kLayoutPacketCount = 156,
+  kBitmapBits = 157,
+};
+
+common::BytesView str_view(const std::string& s) {
+  return common::BytesView(reinterpret_cast<const uint8_t*>(s.data()),
+                           s.size());
+}
+
+}  // namespace
+
+common::Bytes DiscoveryMessage::encode() const {
+  using namespace ndn::tlv;
+  common::Bytes out;
+  append_tlv(out, kPeerId, str_view(peer_id));
+  for (const auto& name : metadata_names) {
+    common::Bytes name_bytes;
+    ndn::append_name(name_bytes, name);
+    append_tlv(out, kMetadataName,
+               common::BytesView(name_bytes.data(), name_bytes.size()));
+  }
+  return out;
+}
+
+std::optional<DiscoveryMessage> DiscoveryMessage::decode(
+    common::BytesView wire) {
+  using namespace ndn::tlv;
+  try {
+    DiscoveryMessage msg;
+    Reader reader(wire);
+    while (!reader.at_end()) {
+      auto e = reader.read_element();
+      switch (e.type) {
+        case kPeerId:
+          msg.peer_id.assign(e.value.begin(), e.value.end());
+          break;
+        case kMetadataName: {
+          Reader name_reader(e.value);
+          auto name_el = name_reader.expect(ndn::tlv::kName);
+          msg.metadata_names.push_back(ndn::parse_name(name_el.value));
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    if (msg.peer_id.empty()) return std::nullopt;
+    return msg;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+common::Bytes BitmapMessage::encode() const {
+  using namespace ndn::tlv;
+  common::Bytes out;
+  append_tlv(out, kPeerId, str_view(peer_id));
+
+  common::Bytes name_bytes;
+  ndn::append_name(name_bytes, collection);
+  append_tlv(out, kCollectionName,
+             common::BytesView(name_bytes.data(), name_bytes.size()));
+  append_tlv_number(out, kRound, round);
+
+  for (const auto& f : layout) {
+    common::Bytes entry;
+    append_tlv(entry, kLayoutFileName, str_view(f.name));
+    append_tlv_number(entry, kLayoutPacketCount, f.packet_count);
+    append_tlv(out, kLayoutEntry, common::BytesView(entry.data(), entry.size()));
+  }
+
+  common::Bytes bits = bitmap.encode();
+  append_tlv(out, kBitmapBits, common::BytesView(bits.data(), bits.size()));
+  return out;
+}
+
+std::optional<BitmapMessage> BitmapMessage::decode(common::BytesView wire) {
+  using namespace ndn::tlv;
+  try {
+    BitmapMessage msg;
+    Reader reader(wire);
+    bool have_bits = false;
+    while (!reader.at_end()) {
+      auto e = reader.read_element();
+      switch (e.type) {
+        case kPeerId:
+          msg.peer_id.assign(e.value.begin(), e.value.end());
+          break;
+        case kCollectionName: {
+          Reader name_reader(e.value);
+          auto name_el = name_reader.expect(ndn::tlv::kName);
+          msg.collection = ndn::parse_name(name_el.value);
+          break;
+        }
+        case kRound:
+          msg.round = parse_number(e.value);
+          break;
+        case kLayoutEntry: {
+          CollectionLayout::FileEntry file;
+          Reader entry(e.value);
+          while (!entry.at_end()) {
+            auto m = entry.read_element();
+            if (m.type == kLayoutFileName) {
+              file.name.assign(m.value.begin(), m.value.end());
+            } else if (m.type == kLayoutPacketCount) {
+              file.packet_count = static_cast<size_t>(parse_number(m.value));
+            }
+          }
+          msg.layout.push_back(std::move(file));
+          break;
+        }
+        case kBitmapBits: {
+          auto bm = Bitmap::decode(e.value);
+          if (!bm) return std::nullopt;
+          msg.bitmap = std::move(*bm);
+          have_bits = true;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    if (msg.peer_id.empty() || msg.collection.empty() || !have_bits) {
+      return std::nullopt;
+    }
+    return msg;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace dapes::core

@@ -1,0 +1,46 @@
+// DAPES control-plane message payloads.
+//
+//   * DiscoveryMessage — content of a discovery Data packet: which
+//     collections (by metadata name) the sender can offer (paper §IV-B).
+//   * BitmapMessage — payload of a bitmap announcement: the sender's
+//     bitmap for one collection, prefixed by the collection layout (file
+//     names + packet counts) so that nodes without the metadata —
+//     intermediate DAPES nodes interested in other collections — can
+//     still map packet names to bits (paper §V-B overhearing).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dapes/bitmap.hpp"
+#include "ndn/name.hpp"
+
+namespace dapes::core {
+
+using ndn::Name;
+
+struct DiscoveryMessage {
+  std::string peer_id;
+  /// Metadata name prefixes ("/<collection>/metadata-file/<digest8>").
+  std::vector<Name> metadata_names;
+
+  common::Bytes encode() const;
+  static std::optional<DiscoveryMessage> decode(common::BytesView wire);
+
+  bool operator==(const DiscoveryMessage&) const = default;
+};
+
+struct BitmapMessage {
+  std::string peer_id;
+  Name collection;
+  uint64_t round = 0;
+  /// File order + packet counts (the bitmap's bit layout).
+  std::vector<CollectionLayout::FileEntry> layout;
+  Bitmap bitmap;
+
+  common::Bytes encode() const;
+  static std::optional<BitmapMessage> decode(common::BytesView wire);
+};
+
+}  // namespace dapes::core

@@ -1,0 +1,225 @@
+#include "dapes/metadata.hpp"
+
+#include <cstring>
+
+#include "ndn/tlv.hpp"
+
+namespace dapes::core {
+
+namespace {
+
+// Application TLV types (outside the NDN-reserved range).
+enum MetaTlv : uint64_t {
+  kFormat = 128,
+  kCollectionName = 129,
+  kFileEntry = 130,
+  kFileName = 131,
+  kPacketCount = 132,
+  kPacketDigest = 133,
+  kMerkleRoot = 134,
+};
+
+crypto::Digest digest_from_view(common::BytesView v) {
+  crypto::Digest d;
+  std::memcpy(d.bytes.data(), v.data(), 32);
+  return d;
+}
+
+}  // namespace
+
+Metadata::Metadata(Name collection, MetadataFormat format,
+                   std::vector<FileMetadata> files)
+    : collection_(std::move(collection)),
+      format_(format),
+      files_(std::move(files)) {}
+
+CollectionLayout Metadata::layout() const {
+  std::vector<CollectionLayout::FileEntry> entries;
+  entries.reserve(files_.size());
+  for (const auto& f : files_) {
+    entries.push_back({f.name, f.packet_count});
+  }
+  return CollectionLayout(std::move(entries));
+}
+
+size_t Metadata::total_packets() const {
+  size_t total = 0;
+  for (const auto& f : files_) total += f.packet_count;
+  return total;
+}
+
+common::Bytes Metadata::encode() const {
+  using namespace ndn::tlv;
+  common::Bytes out;
+  append_tlv_number(out, kFormat, static_cast<uint64_t>(format_));
+
+  common::Bytes name_bytes;
+  ndn::append_name(name_bytes, collection_);
+  append_tlv(out, kCollectionName,
+             common::BytesView(name_bytes.data(), name_bytes.size()));
+
+  for (const auto& f : files_) {
+    common::Bytes entry;
+    append_tlv(entry, kFileName,
+               common::BytesView(
+                   reinterpret_cast<const uint8_t*>(f.name.data()),
+                   f.name.size()));
+    append_tlv_number(entry, kPacketCount, f.packet_count);
+    if (format_ == MetadataFormat::kPacketDigest) {
+      for (const auto& d : f.packet_digests) {
+        append_tlv(entry, kPacketDigest, d.view());
+      }
+    } else if (f.merkle_root) {
+      append_tlv(entry, kMerkleRoot, f.merkle_root->view());
+    }
+    append_tlv(out, kFileEntry, common::BytesView(entry.data(), entry.size()));
+  }
+  return out;
+}
+
+std::optional<Metadata> Metadata::decode(common::BytesView wire) {
+  using namespace ndn::tlv;
+  try {
+    Reader reader(wire);
+    Metadata meta;
+    bool have_format = false;
+    while (!reader.at_end()) {
+      auto e = reader.read_element();
+      switch (e.type) {
+        case kFormat:
+          meta.format_ = static_cast<MetadataFormat>(parse_number(e.value));
+          have_format = true;
+          break;
+        case kCollectionName: {
+          Reader name_reader(e.value);
+          auto name_el = name_reader.expect(ndn::tlv::kName);
+          meta.collection_ = ndn::parse_name(name_el.value);
+          break;
+        }
+        case kFileEntry: {
+          FileMetadata file;
+          Reader entry(e.value);
+          while (!entry.at_end()) {
+            auto m = entry.read_element();
+            switch (m.type) {
+              case kFileName:
+                file.name.assign(m.value.begin(), m.value.end());
+                break;
+              case kPacketCount:
+                file.packet_count = static_cast<size_t>(parse_number(m.value));
+                break;
+              case kPacketDigest:
+                if (m.value.size() != 32) return std::nullopt;
+                file.packet_digests.push_back(digest_from_view(m.value));
+                break;
+              case kMerkleRoot:
+                if (m.value.size() != 32) return std::nullopt;
+                file.merkle_root = digest_from_view(m.value);
+                break;
+              default:
+                break;
+            }
+          }
+          if (file.name.empty()) return std::nullopt;
+          meta.files_.push_back(std::move(file));
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    if (!have_format || meta.collection_.empty()) return std::nullopt;
+    // Structural validation.
+    for (const auto& f : meta.files_) {
+      if (meta.format_ == MetadataFormat::kPacketDigest &&
+          f.packet_digests.size() != f.packet_count) {
+        return std::nullopt;
+      }
+      if (meta.format_ == MetadataFormat::kMerkleTree && !f.merkle_root) {
+        return std::nullopt;
+      }
+    }
+    return meta;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+crypto::Digest Metadata::digest() const {
+  common::Bytes body = encode();
+  return crypto::Sha256::hash(common::BytesView(body.data(), body.size()));
+}
+
+std::string Metadata::digest8() const {
+  std::string hex = digest().to_hex();
+  return hex.substr(0, 8);
+}
+
+Name Metadata::name_prefix() const {
+  return metadata_prefix(collection_, digest8());
+}
+
+std::vector<ndn::Data> Metadata::to_packets(
+    const crypto::PrivateKey& producer_key, size_t segment_size) const {
+  common::Bytes body = encode();
+  Name prefix = name_prefix();
+  std::vector<ndn::Data> packets;
+  size_t segments =
+      body.empty() ? 1 : (body.size() + segment_size - 1) / segment_size;
+  for (size_t i = 0; i < segments; ++i) {
+    size_t begin = i * segment_size;
+    size_t end = std::min(body.size(), begin + segment_size);
+    // Each segment's content starts with the total segment count so a
+    // downloader knows when reassembly is complete (stand-in for NDN's
+    // FinalBlockId).
+    common::Bytes content;
+    common::append_be(content, segments, 4);
+    content.insert(content.end(), body.begin() + begin, body.begin() + end);
+    ndn::Data data(metadata_segment_name(prefix, i));
+    data.set_content(std::move(content));
+    // Metadata is immutable once published.
+    data.set_freshness(common::Duration::seconds(3600.0));
+    data.sign(producer_key);
+    packets.push_back(std::move(data));
+  }
+  return packets;
+}
+
+size_t Metadata::segment_count_of(common::BytesView segment_content) {
+  if (segment_content.size() < 4) return 0;
+  return static_cast<size_t>(common::read_be(segment_content, 0, 4));
+}
+
+std::optional<Metadata> Metadata::from_segments(
+    const std::vector<common::Bytes>& segments) {
+  common::Bytes body;
+  for (const auto& s : segments) {
+    if (s.size() < 4) return std::nullopt;
+    body.insert(body.end(), s.begin() + 4, s.end());
+  }
+  return decode(common::BytesView(body.data(), body.size()));
+}
+
+std::optional<bool> Metadata::verify_packet(size_t file_index, uint64_t seq,
+                                            common::BytesView content) const {
+  if (format_ != MetadataFormat::kPacketDigest) return std::nullopt;
+  if (file_index >= files_.size()) return false;
+  const auto& file = files_[file_index];
+  if (seq >= file.packet_digests.size()) return false;
+  return crypto::Sha256::hash(content) == file.packet_digests[seq];
+}
+
+bool Metadata::verify_file(
+    size_t file_index,
+    const std::vector<crypto::Digest>& packet_digests) const {
+  if (file_index >= files_.size()) return false;
+  const auto& file = files_[file_index];
+  if (packet_digests.size() != file.packet_count) return false;
+  if (format_ == MetadataFormat::kMerkleTree) {
+    return file.merkle_root &&
+           crypto::MerkleTree::compute_root(packet_digests) == *file.merkle_root;
+  }
+  return packet_digests == file.packet_digests;
+}
+
+}  // namespace dapes::core

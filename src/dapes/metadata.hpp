@@ -1,0 +1,104 @@
+// Collection metadata for secure initialization (paper §IV-C, Fig. 4).
+//
+// Two encodings, trading metadata size against how soon packet integrity
+// can be verified:
+//   * kPacketDigest — "[packet-index]/[packet-digest]" per packet: large
+//     (may need several network-layer segments, possibly several
+//     encounters to fetch) but each packet verifies on arrival.
+//   * kMerkleTree — one Merkle root per file: fits in a single segment,
+//     but a file verifies only after all of its packets arrive (or with
+//     an explicit inclusion proof).
+//
+// The producer signs the metadata; peers verify the signature against
+// their local trust anchors before trusting the collection (§III).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/keychain.hpp"
+#include "crypto/merkle.hpp"
+#include "dapes/bitmap.hpp"
+#include "dapes/namespace.hpp"
+#include "ndn/packet.hpp"
+
+namespace dapes::core {
+
+enum class MetadataFormat : uint8_t {
+  kPacketDigest = 1,
+  kMerkleTree = 2,
+};
+
+/// Per-file section of the metadata.
+struct FileMetadata {
+  std::string name;
+  size_t packet_count = 0;
+  /// kPacketDigest: one digest per packet, indexed by sequence number.
+  std::vector<crypto::Digest> packet_digests;
+  /// kMerkleTree: the file's Merkle root.
+  std::optional<crypto::Digest> merkle_root;
+
+  bool operator==(const FileMetadata&) const = default;
+};
+
+class Metadata {
+ public:
+  Metadata() = default;
+  Metadata(Name collection, MetadataFormat format,
+           std::vector<FileMetadata> files);
+
+  const Name& collection() const { return collection_; }
+  MetadataFormat format() const { return format_; }
+  const std::vector<FileMetadata>& files() const { return files_; }
+
+  /// Layout implied by file order (bitmap bit ordering, §IV-D).
+  CollectionLayout layout() const;
+
+  size_t total_packets() const;
+
+  /// TLV encoding of the metadata body (what gets segmented + signed).
+  common::Bytes encode() const;
+  static std::optional<Metadata> decode(common::BytesView wire);
+
+  /// SHA-256 of the encoded body; the first 8 hex chars become the
+  /// metadata name component (Fig. 4: ".../metadata-file/A23D1F9B").
+  crypto::Digest digest() const;
+  std::string digest8() const;
+
+  /// Name prefix for this metadata's segments.
+  Name name_prefix() const;
+
+  /// Segment the encoded body into producer-signed Data packets of at most
+  /// @p segment_size content bytes (>=1 segment even when empty).
+  std::vector<ndn::Data> to_packets(const crypto::PrivateKey& producer_key,
+                                    size_t segment_size) const;
+
+  /// Reassemble from segment contents (in segment order).
+  static std::optional<Metadata> from_segments(
+      const std::vector<common::Bytes>& segments);
+
+  /// Total segment count advertised in any segment's content header
+  /// (0 for malformed content).
+  static size_t segment_count_of(common::BytesView segment_content);
+
+  /// Integrity check for one packet (kPacketDigest: immediate).
+  /// For kMerkleTree this always returns nullopt — use verify_file.
+  std::optional<bool> verify_packet(size_t file_index, uint64_t seq,
+                                    common::BytesView content) const;
+
+  /// Integrity check for a whole file from its packet digests
+  /// (kMerkleTree: recompute root; kPacketDigest: compare all digests).
+  bool verify_file(size_t file_index,
+                   const std::vector<crypto::Digest>& packet_digests) const;
+
+  bool operator==(const Metadata&) const = default;
+
+ private:
+  Name collection_;
+  MetadataFormat format_ = MetadataFormat::kPacketDigest;
+  std::vector<FileMetadata> files_;
+};
+
+}  // namespace dapes::core

@@ -1,0 +1,261 @@
+// The DAPES peer application (paper §III, Fig. 3).
+//
+// A Peer owns a full node stack — radio, NFD-lite forwarder with a
+// DAPES-intermediate strategy, and the application logic that drives the
+// four-step loop:
+//   1. discover neighbors and file collections (adaptive-period discovery
+//      Interests, §IV-B);
+//   2. retrieve and authenticate collection metadata on first contact
+//      (§IV-C);
+//   3. advertise available collection data via prioritized, PEBA-scheduled
+//      bitmap announcements (§IV-D, §IV-F);
+//   4. fetch collection data with an RPF strategy (§IV-E), either after b
+//      bitmaps ("bitmaps first") or interleaved with advertisements.
+//
+// Producers publish() a Collection and serve its packets; every peer that
+// completes a collection keeps serving it (seeding). Stationary
+// repositories are just Peers with StationaryMobility.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/keychain.hpp"
+#include "dapes/collection.hpp"
+#include "dapes/messages.hpp"
+#include "dapes/peba.hpp"
+#include "dapes/rpf.hpp"
+#include "dapes/strategies.hpp"
+#include "ndn/forwarder.hpp"
+#include "sim/medium.hpp"
+#include "sim/radio.hpp"
+
+namespace dapes::core {
+
+/// How bitmap exchanges relate to data fetching (paper §IV-D, Fig. 9c/9d).
+enum class AdvertisementMode {
+  /// Collect `bitmaps_before_data` bitmaps, then fetch.
+  kBitmapsFirst,
+  /// Start fetching as soon as the first bitmap is known.
+  kInterleaved,
+};
+
+struct PeerOptions {
+  std::string id = "peer";
+
+  // --- fetch strategy (Fig. 9a) ---
+  RpfKind rpf = RpfKind::kLocalNeighborhood;
+  bool random_start = true;
+  size_t encounter_history = 20;
+
+  // --- advertisements (Fig. 9c/9d) ---
+  AdvertisementMode advertisement_mode = AdvertisementMode::kInterleaved;
+  /// Bitmaps to collect before data download; 0 = "all peers in range"
+  /// (the paper's "all bitmaps" configuration).
+  int bitmaps_before_data = 2;
+
+  // --- collision mitigation (Fig. 9b) ---
+  bool use_peba = true;
+  PebaScheduler::Params peba{};
+
+  // --- timers ---
+  common::Duration tx_window = common::Duration::milliseconds(20);
+  common::Duration discovery_period_min = common::Duration::seconds(1.0);
+  common::Duration discovery_period_max = common::Duration::seconds(6.0);
+  common::Duration neighbor_ttl = common::Duration::seconds(12.0);
+  common::Duration interest_lifetime = common::Duration::seconds(1.5);
+
+  // --- data fetch pipeline ---
+  int interest_window = 4;
+
+  // --- multi-hop (Fig. 9g/9h) ---
+  bool multihop = true;
+  double forward_probability = 0.2;
+
+  size_t cs_capacity = 4096;
+};
+
+class Peer {
+ public:
+  Peer(sim::Scheduler& sched, sim::Medium& medium,
+       sim::MobilityModel* mobility, common::Rng rng, PeerOptions options);
+
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+
+  /// Start the discovery loop. Call once after construction.
+  void start();
+
+  /// Publish a collection: this peer holds every packet and serves as the
+  /// producer (its key already signed the packets).
+  void publish(std::shared_ptr<Collection> collection);
+
+  /// Declare interest: the peer will fetch this collection when it
+  /// discovers a holder. The shared Collection acts as the content oracle
+  /// for serving once packets are obtained (see DESIGN.md on synthetic
+  /// payload interning).
+  void subscribe(std::shared_ptr<Collection> collection);
+
+  /// Trust the given producer key (models the shared local trust anchors).
+  void add_trust_anchor(const crypto::KeyId& producer);
+  crypto::KeyChain& keychain() { return keychain_; }
+
+  const std::string& id() const { return options_.id; }
+  sim::NodeId node() const { return node_; }
+  ndn::Forwarder& forwarder() { return *forwarder_; }
+
+  bool complete(const Name& collection) const;
+  std::optional<common::TimePoint> completion_time(const Name& collection) const;
+  double progress(const Name& collection) const;
+
+  /// Called when a subscribed collection finishes downloading.
+  void set_completion_callback(
+      std::function<void(const Name&, common::TimePoint)> cb) {
+    on_complete_ = std::move(cb);
+  }
+
+  struct PeerStats {
+    uint64_t discovery_interests_sent = 0;
+    uint64_t discovery_responses_sent = 0;
+    uint64_t bitmap_announcements_sent = 0;
+    uint64_t bitmap_collisions_detected = 0;
+    uint64_t data_interests_sent = 0;
+    uint64_t data_packets_received = 0;
+    uint64_t data_packets_served = 0;
+    uint64_t integrity_failures = 0;
+    uint64_t metadata_rejected = 0;
+    uint64_t interest_timeouts = 0;
+  };
+  const PeerStats& stats() const { return stats_; }
+
+  /// Modeled state footprint (bitmaps, neighbor tables, strategy
+  /// knowledge, CS content) for Table-I style reporting.
+  size_t state_bytes() const;
+
+  /// Same, but excluding cached content: the bookkeeping DAPES needs to
+  /// track "what data is available around me" (bitmaps, RPF state,
+  /// neighborhood knowledge). This is the component the paper's Table I
+  /// shows growing with multi-hop communication.
+  size_t knowledge_bytes() const;
+
+  /// Introspection for tests and diagnostics.
+  struct DownloadDebug {
+    bool has_metadata = false;
+    bool fetching_enabled = false;
+    double progress = 0.0;
+    size_t in_flight = 0;
+    size_t known_bitmaps = 0;
+    size_t fresh_neighbors = 0;
+  };
+  DownloadDebug debug_download(const Name& collection) const;
+
+ private:
+  struct NeighborInfo {
+    common::TimePoint last_heard{};
+    std::set<Name> offered_metadata;
+  };
+
+  struct DownloadState {
+    std::shared_ptr<Collection> oracle;
+    std::optional<Metadata> metadata;
+    CollectionLayout layout;
+    Bitmap have;
+    std::unique_ptr<FetchStrategy> rpf;
+    std::set<size_t> in_flight;
+    std::map<size_t, int> retry_count;
+    bool fetching_enabled = false;
+    std::optional<common::TimePoint> completed_at;
+    // Metadata retrieval progress.
+    Name metadata_name;
+    std::map<uint64_t, common::Bytes> metadata_segments;
+    size_t metadata_total_segments = 0;
+    bool metadata_requested = false;
+    // Advertisement state (per current encounter round).
+    uint64_t adv_round = 0;
+    common::TimePoint last_round_start{-1'000'000'000};
+    Bitmap transmitted_union;       // union of bitmaps heard this round
+    bool union_valid = false;
+    size_t bitmaps_heard_this_round = 0;
+    sim::EventId adv_timer{};
+    bool adv_pending = false;
+    int collision_round = 0;
+  };
+
+  // --- wiring ---
+  void on_app_interest(const ndn::Interest& interest);
+  void on_app_data(const ndn::Data& data);
+  void express(ndn::Interest interest);
+
+  // --- discovery (step 1) ---
+  void discovery_tick();
+  void send_discovery_interest();
+  void handle_discovery_interest(const ndn::Interest& interest);
+  void handle_discovery_data(const ndn::Data& data);
+
+  // --- metadata (step 2) ---
+  void request_metadata(DownloadState& st);
+  void request_metadata_segment(DownloadState& st, uint64_t segment);
+  void handle_metadata_segment(DownloadState& st, const ndn::Data& data);
+  void finish_metadata(DownloadState& st);
+
+  // --- advertisements (step 3) ---
+  void begin_advertisement_round(const Name& collection);
+  void schedule_bitmap_announcement(const Name& collection, bool initial);
+  void send_bitmap_announcement(const Name& collection);
+  void handle_bitmap_message(const BitmapMessage& msg);
+  double provide_fraction(const DownloadState& st) const;
+
+  // --- data fetching (step 4) ---
+  void pump_fetch(const Name& collection);
+  void request_packet(DownloadState& st, const Name& collection, size_t index);
+  void handle_collection_data(const ndn::Data& data);
+  void handle_packet_timeout(const Name& collection, size_t index);
+  void maybe_complete(const Name& collection, DownloadState& st);
+
+  // --- serving ---
+  void serve_interest(const ndn::Interest& interest);
+
+  // --- overhearing ---
+  void on_overheard_interest(const ndn::Interest& interest);
+  void on_overheard_data(const ndn::Data& data);
+
+  /// Record hearing from a peer. Returns true when this is a new or
+  /// returning (stale beyond the TTL) neighbor — i.e. a fresh encounter.
+  bool touch_neighbor(const std::string& peer_id);
+  void prune_neighbors();
+  DownloadState* state_for(const Name& collection);
+  DownloadState* state_for_packet_name(const Name& name,
+                                       Name* collection_out);
+
+  sim::Scheduler& sched_;
+  sim::Medium& medium_;
+  common::Rng rng_;
+  PeerOptions options_;
+  PebaScheduler peba_;
+
+  sim::NodeId node_ = 0;
+  std::unique_ptr<sim::Radio> radio_;
+  std::unique_ptr<ndn::Forwarder> forwarder_;
+  std::shared_ptr<ndn::WifiFace> wifi_face_;
+  std::shared_ptr<ndn::AppFace> app_face_;
+  DapesIntermediateStrategy* strategy_ = nullptr;  // owned by forwarder
+
+  crypto::KeyChain keychain_;
+  crypto::PrivateKey key_;
+
+  std::map<std::string, NeighborInfo> neighbors_;
+  std::map<Name, DownloadState> downloads_;  // keyed by collection name
+  common::Duration discovery_period_;
+  uint32_t next_nonce_ = 1;
+  uint64_t interests_expressed_ = 0;
+
+  std::function<void(const Name&, common::TimePoint)> on_complete_;
+  PeerStats stats_;
+};
+
+}  // namespace dapes::core

@@ -1,0 +1,88 @@
+// Rarest-Piece-First fetch strategies (paper §IV-E).
+//
+// Two variants of RPF tailored to off-the-grid communication:
+//   * Local-neighborhood RPF — rarity of a packet is the number of
+//     currently-connected neighbors whose bitmap shows it missing. State
+//     expires with the encounter; nothing long-term is kept.
+//   * Encounter-based RPF — rarity is estimated over the bitmaps of the
+//     last K encountered peers (swarm-wide view at the cost of state).
+//
+// Both prefer packets that are (a) missing locally, (b) available from at
+// least one known holder, and (c) rarest; ties break in a deterministic
+// shuffled order so concurrent downloaders diverge ("random first packet",
+// Fig. 9a) or in sequential order ("same first packet").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "dapes/bitmap.hpp"
+
+namespace dapes::core {
+
+using common::TimePoint;
+
+/// A neighbor's advertised bitmap.
+struct NeighborBitmap {
+  std::string peer_id;
+  Bitmap bitmap;
+  TimePoint received{};
+};
+
+enum class RpfKind { kLocalNeighborhood, kEncounterBased };
+
+class FetchStrategy {
+ public:
+  virtual ~FetchStrategy() = default;
+
+  /// Record a (fresh) bitmap heard from @p peer_id.
+  virtual void on_bitmap(const std::string& peer_id, const Bitmap& bitmap,
+                         TimePoint now) = 0;
+
+  /// The peer left our communication range; local-neighborhood RPF drops
+  /// its state here, encounter-based RPF keeps history.
+  virtual void on_neighbor_lost(const std::string& peer_id) = 0;
+
+  /// Pick the next packet to request: missing from @p own, not in
+  /// @p in_flight, rarest first. Returns nullopt when nothing eligible.
+  virtual std::optional<size_t> select_next(const Bitmap& own,
+                                            const std::set<size_t>& in_flight) = 0;
+
+  /// True if any known holder has packet @p index.
+  virtual bool known_available(size_t index) const = 0;
+
+  virtual RpfKind kind() const = 0;
+  virtual size_t known_bitmaps() const = 0;
+
+  /// Approximate state footprint in bytes (Table-I style reporting).
+  virtual size_t state_bytes() const = 0;
+};
+
+struct RpfOptions {
+  size_t total_packets = 0;
+  /// Random vs same first packet (Fig. 9a variants).
+  bool random_start = true;
+  /// Encounter-based: how many encountered peers' bitmaps to remember.
+  size_t history_limit = 20;
+  uint64_t seed = 1;
+};
+
+std::unique_ptr<FetchStrategy> make_fetch_strategy(RpfKind kind,
+                                                   const RpfOptions& options);
+
+/// Shared implementation detail, exposed for unit testing: rank packet
+/// indices by (available desc, rarity desc, order), where @p have_counts
+/// counts holders per packet and @p order is the tie-break permutation.
+std::vector<size_t> rank_packets(const std::vector<uint32_t>& have_counts,
+                                 size_t bitmap_count,
+                                 const std::vector<size_t>& order);
+
+}  // namespace dapes::core

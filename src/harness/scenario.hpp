@@ -1,0 +1,96 @@
+// Experiment scenarios.
+//
+// Reproduces the paper's simulation setup (§VI-B, Fig. 7): a 300 m x 300 m
+// field with 4 stationary repositories and 40 mobile nodes (random
+// direction, 2-10 m/s). 24 nodes (4 stationary + 20 mobile) download one
+// file collection; 10 mobile nodes are pure forwarders and 10 are
+// intermediate DAPES nodes. One designated downloader starts with the
+// full collection (the producer).
+//
+// Parameters default to the repository's scaled configuration: packet
+// counts and the radio data rate are both divided by kDefaultScale
+// relative to the paper, which preserves the airtime-to-contact-time
+// ratio that shapes every figure (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dapes/peer.hpp"
+
+namespace dapes::harness {
+
+/// Scale divisor applied to collection size and radio rate.
+inline constexpr size_t kDefaultScale = 8;
+
+struct ScenarioParams {
+  // --- field & population (paper Fig. 7) ---
+  double field_m = 300.0;
+  int stationary_downloaders = 4;
+  int mobile_downloaders = 20;
+  int pure_forwarders = 10;
+  int dapes_intermediates = 10;
+
+  // --- radio (paper: 802.11b, 11 Mbps, 10% loss) ---
+  double wifi_range_m = 60.0;
+  double data_rate_bps = 11e6 / kDefaultScale;
+  double loss_rate = 0.10;
+
+  // --- workload (paper default: 10 files x 1 MB, 1 KB packets) ---
+  size_t files = 10;
+  size_t file_size_bytes = 1024 * 1024 / kDefaultScale;
+  size_t packet_size = 1024;
+  core::MetadataFormat metadata_format = core::MetadataFormat::kPacketDigest;
+
+  // --- peer configuration applied to every downloader ---
+  core::PeerOptions peer{};
+
+  // --- run control ---
+  double sim_limit_s = 3000.0;
+  uint64_t seed = 1;
+};
+
+/// Outcome of one simulated trial.
+struct TrialResult {
+  /// Mean time for the downloaders to obtain the full collection
+  /// (downloaders that never finish count as sim_limit_s).
+  double download_time_s = 0.0;
+  /// Fraction of downloaders that completed within the limit.
+  double completion_fraction = 0.0;
+  /// Total frames put on the air by all nodes.
+  uint64_t transmissions = 0;
+  /// Frame counts by kind ("ndn-interest", "ndn-data", ...).
+  std::unordered_map<std::string, uint64_t> tx_by_kind;
+  /// Collisions observed at the medium.
+  uint64_t collided_frames = 0;
+  /// Peak modeled protocol state across nodes, bytes (Table I).
+  size_t peak_state_bytes = 0;
+  /// Sum of modeled protocol state across nodes, bytes.
+  size_t total_state_bytes = 0;
+  /// Scheduler events executed (system-load proxy, see EXPERIMENTS.md).
+  uint64_t events_executed = 0;
+  /// Fraction of knowledge-forwarded Interests that brought data back —
+  /// reported by the paper as 83% (§VI-D).
+  double forward_accuracy = 0.0;
+};
+
+/// Run one DAPES trial of the Fig. 7 scenario.
+TrialResult run_dapes_trial(const ScenarioParams& params);
+
+/// Run a trial with the given number of trials, returning each result.
+std::vector<TrialResult> run_dapes_trials(ScenarioParams params, int trials);
+
+/// Same topology and workload, but peers run Bithoc (DSDV + scoped HELLO
+/// flooding + TCP) — the paper's first IP baseline (Fig. 10).
+TrialResult run_bithoc_trial(const ScenarioParams& params);
+std::vector<TrialResult> run_bithoc_trials(ScenarioParams params, int trials);
+
+/// Same topology and workload, but peers run Ekta (DSR + DHT + UDP) —
+/// the paper's second IP baseline (Fig. 10).
+TrialResult run_ekta_trial(const ScenarioParams& params);
+std::vector<TrialResult> run_ekta_trials(ScenarioParams params, int trials);
+
+}  // namespace dapes::harness

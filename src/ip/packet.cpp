@@ -1,0 +1,47 @@
+#include "ip/packet.hpp"
+
+namespace dapes::ip {
+
+common::Bytes Packet::encode() const {
+  common::Bytes out;
+  out.push_back(kMagic);
+  out.push_back(static_cast<uint8_t>(proto));
+  out.push_back(ttl);
+  out.push_back(route_pos);
+  common::append_be(out, src, 4);
+  common::append_be(out, dst, 4);
+  common::append_be(out, next_hop, 4);
+  common::append_be(out, route.size(), 2);
+  for (Address hop : route) {
+    common::append_be(out, hop, 4);
+  }
+  common::append_be(out, payload.size(), 4);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<Packet> Packet::decode(common::BytesView wire) {
+  if (wire.size() < 22 || wire[0] != kMagic) return std::nullopt;
+  Packet p;
+  p.proto = static_cast<Proto>(wire[1]);
+  p.ttl = wire[2];
+  p.route_pos = wire[3];
+  p.src = static_cast<Address>(common::read_be(wire, 4, 4));
+  p.dst = static_cast<Address>(common::read_be(wire, 8, 4));
+  p.next_hop = static_cast<Address>(common::read_be(wire, 12, 4));
+  size_t route_len = common::read_be(wire, 16, 2);
+  size_t offset = 18;
+  if (wire.size() < offset + route_len * 4 + 4) return std::nullopt;
+  p.route.reserve(route_len);
+  for (size_t i = 0; i < route_len; ++i) {
+    p.route.push_back(static_cast<Address>(common::read_be(wire, offset, 4)));
+    offset += 4;
+  }
+  size_t payload_len = common::read_be(wire, offset, 4);
+  offset += 4;
+  if (wire.size() != offset + payload_len) return std::nullopt;
+  p.payload.assign(wire.begin() + offset, wire.end());
+  return p;
+}
+
+}  // namespace dapes::ip

@@ -1,0 +1,55 @@
+// IPv4-lite packets for the MANET baselines (Bithoc, Ekta).
+//
+// The baselines bypass NDN entirely: they address nodes, not data. A
+// packet carries global src/dst addresses, the link-layer next hop (the
+// broadcast medium models unicast as a frame every neighbour hears but
+// only the next hop accepts), a TTL, an optional DSR source route, and an
+// opaque payload demultiplexed by protocol number.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dapes::ip {
+
+using Address = uint32_t;
+
+inline constexpr Address kBroadcast = 0xffffffff;
+inline constexpr Address kInvalid = 0;
+
+enum class Proto : uint8_t {
+  kUdp = 1,
+  kTcp = 2,
+  kDsdv = 3,
+  kDsr = 4,
+  kHello = 5,  // Bithoc application-layer scoped flooding
+  kDht = 6,    // Ekta DHT control
+};
+
+struct Packet {
+  Address src = kInvalid;
+  Address dst = kInvalid;
+  Address next_hop = kBroadcast;
+  Proto proto = Proto::kUdp;
+  uint8_t ttl = 16;
+  /// DSR source route (node addresses, including src and dst); empty for
+  /// table-driven (DSDV) or broadcast packets.
+  std::vector<Address> route;
+  /// Position of the *current* holder within route.
+  uint8_t route_pos = 0;
+  common::Bytes payload;
+
+  common::Bytes encode() const;
+  static std::optional<Packet> decode(common::BytesView wire);
+
+  bool operator==(const Packet&) const = default;
+};
+
+/// First wire byte of every IP-lite packet (mirrors IPv4 version+IHL so
+/// NDN faces can cheaply skip foreign frames and vice versa).
+inline constexpr uint8_t kMagic = 0x45;
+
+}  // namespace dapes::ip

@@ -1,0 +1,82 @@
+#include "ndn/face.hpp"
+
+#include "common/logging.hpp"
+
+namespace dapes::ndn {
+
+void WifiFace::send_interest(const Interest& interest) {
+  auto frame = std::make_shared<sim::Frame>();
+  frame->sender = node_;
+  frame->payload = interest.encode();
+  frame->kind = "ndn-interest";
+  ++interests_sent_;
+  sim::Radio::SendCompleteCallback cb;
+  if (next_interest_cb_) {
+    cb = std::move(next_interest_cb_);
+    next_interest_cb_ = nullptr;
+  }
+  radio_.send(std::move(frame), std::move(cb));
+}
+
+void WifiFace::send_data(const Data& data) {
+  if (data_window_.us <= 0) {
+    ++data_sent_;
+    auto frame = std::make_shared<sim::Frame>();
+    frame->sender = node_;
+    frame->payload = data.encode();
+    frame->kind = "ndn-data";
+    radio_.send(std::move(frame));
+    return;
+  }
+  if (pending_data_.contains(data.name())) {
+    return;  // already queued
+  }
+  Duration delay = Duration::microseconds(static_cast<int64_t>(
+      rng_.next_below(static_cast<uint64_t>(data_window_.us) + 1)));
+  Name name = data.name();
+  sim::EventId ev = sched_.schedule(delay, [this, name] { transmit_data(name); });
+  pending_data_.emplace(name, std::make_pair(data, ev));
+}
+
+void WifiFace::transmit_data(const Name& name) {
+  auto it = pending_data_.find(name);
+  if (it == pending_data_.end()) return;
+  Data data = std::move(it->second.first);
+  pending_data_.erase(it);
+  ++data_sent_;
+  auto frame = std::make_shared<sim::Frame>();
+  frame->sender = node_;
+  frame->payload = data.encode();
+  frame->kind = "ndn-data";
+  radio_.send(std::move(frame));
+}
+
+void WifiFace::on_frame(const sim::FramePtr& frame) {
+  const auto& payload = frame->payload;
+  if (payload.empty()) return;
+  try {
+    tlv::Reader reader(common::BytesView(payload.data(), payload.size()));
+    uint64_t type = reader.peek_type();
+    if (type == tlv::kInterest) {
+      deliver_interest(Interest::decode(
+          common::BytesView(payload.data(), payload.size())));
+    } else if (type == tlv::kData) {
+      Data data =
+          Data::decode(common::BytesView(payload.data(), payload.size()));
+      // Suppress our own pending transmission of the same Data: someone
+      // else answered first.
+      auto it = pending_data_.find(data.name());
+      if (it != pending_data_.end()) {
+        sched_.cancel(it->second.second);
+        pending_data_.erase(it);
+        ++data_suppressed_;
+      }
+      deliver_data(data);
+    }
+    // Other frame types (IP baselines) are not ours; ignore.
+  } catch (const tlv::ParseError& e) {
+    DAPES_LOG_DEBUG("wifi-face") << "undecodable frame: " << e.what();
+  }
+}
+
+}  // namespace dapes::ndn

@@ -1,0 +1,149 @@
+// Faces: the forwarder's attachment points.
+//
+// Each simulated node runs one Forwarder with (at least) two faces: an
+// AppFace for the local application (DAPES peer, or nothing on a pure
+// forwarder) and a WifiFace bridging to the node's broadcast radio. The
+// Forwarder pushes outgoing packets into Face::send_*; incoming packets
+// are injected by the face owner via the handlers the Forwarder installs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "ndn/packet.hpp"
+#include "sim/radio.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dapes::ndn {
+
+using FaceId = uint32_t;
+
+class Face {
+ public:
+  virtual ~Face() = default;
+
+  FaceId id() const { return id_; }
+  void set_id(FaceId id) { id_ = id; }
+
+  /// Local faces connect applications; non-local faces reach the network
+  /// (hop limits only apply to non-local hops).
+  virtual bool is_local() const = 0;
+
+  virtual void send_interest(const Interest& interest) = 0;
+  virtual void send_data(const Data& data) = 0;
+
+  /// Handlers the Forwarder installs to receive packets from this face.
+  using InterestHandler = std::function<void(const Interest&)>;
+  using DataHandler = std::function<void(const Data&)>;
+
+  void set_receive_handlers(InterestHandler on_interest, DataHandler on_data) {
+    on_interest_ = std::move(on_interest);
+    on_data_ = std::move(on_data);
+  }
+
+ protected:
+  void deliver_interest(const Interest& interest) {
+    if (on_interest_) on_interest_(interest);
+  }
+  void deliver_data(const Data& data) {
+    if (on_data_) on_data_(data);
+  }
+
+ private:
+  FaceId id_ = 0;
+  InterestHandler on_interest_;
+  DataHandler on_data_;
+};
+
+/// Local application endpoint. The application reads packets via its own
+/// callbacks and writes with express()/put().
+class AppFace final : public Face {
+ public:
+  using AppInterestHandler = std::function<void(const Interest&)>;
+  using AppDataHandler = std::function<void(const Data&)>;
+
+  /// Application-side callbacks (what the app receives from the network).
+  void set_app_handlers(AppInterestHandler on_interest, AppDataHandler on_data) {
+    app_on_interest_ = std::move(on_interest);
+    app_on_data_ = std::move(on_data);
+  }
+
+  /// Forwarder -> application.
+  void send_interest(const Interest& interest) override {
+    if (app_on_interest_) app_on_interest_(interest);
+  }
+  void send_data(const Data& data) override {
+    if (app_on_data_) app_on_data_(data);
+  }
+
+  /// Application -> forwarder.
+  void express(const Interest& interest) { deliver_interest(interest); }
+  void put(const Data& data) { deliver_data(data); }
+
+  bool is_local() const override { return true; }
+
+ private:
+  AppInterestHandler app_on_interest_;
+  AppDataHandler app_on_data_;
+};
+
+/// Broadcast wireless face: encodes packets into radio frames.
+///
+/// Data transmissions are held for a random delay within a transmission
+/// window and suppressed entirely if an identical-name Data is overheard
+/// first — the paper's "random timer for collection data transmissions to
+/// avoid collisions" plus multi-responder suppression. Set the window to
+/// zero to send immediately.
+class WifiFace final : public Face {
+ public:
+  WifiFace(sim::Scheduler& sched, sim::Radio& radio, sim::NodeId node,
+           common::Rng rng,
+           Duration data_window = Duration::milliseconds(20))
+      : sched_(sched),
+        radio_(radio),
+        node_(node),
+        rng_(rng),
+        data_window_(data_window) {}
+
+  void send_interest(const Interest& interest) override;
+  void send_data(const Data& data) override;
+
+  /// Called by the node's medium receive callback for every frame heard.
+  /// Silently ignores frames that are not NDN packets (e.g. IP baseline
+  /// traffic in mixed tests).
+  void on_frame(const sim::FramePtr& frame);
+
+  /// Completion hook for the next Interest transmission — lets the DAPES
+  /// peer detect bitmap-announcement collisions for PEBA. One-shot.
+  void set_next_interest_tx_callback(sim::Radio::SendCompleteCallback cb) {
+    next_interest_cb_ = std::move(cb);
+  }
+
+  uint64_t interests_sent() const { return interests_sent_; }
+  uint64_t data_sent() const { return data_sent_; }
+  uint64_t data_suppressed() const { return data_suppressed_; }
+
+  bool is_local() const override { return false; }
+
+ private:
+  void transmit_data(const Name& name);
+
+  sim::Scheduler& sched_;
+  sim::Radio& radio_;
+  sim::NodeId node_;
+  common::Rng rng_;
+  Duration data_window_;
+  sim::Radio::SendCompleteCallback next_interest_cb_;
+  /// Pending delayed Data sends, cancellable by overheard duplicates.
+  std::map<Name, std::pair<Data, sim::EventId>> pending_data_;
+  uint64_t interests_sent_ = 0;
+  uint64_t data_sent_ = 0;
+  uint64_t data_suppressed_ = 0;
+};
+
+}  // namespace dapes::ndn

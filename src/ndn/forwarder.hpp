@@ -1,0 +1,126 @@
+// NFD-lite forwarder: the packet-processing pipeline of paper Fig. 1.
+//
+//   Interest:  CS ──hit──> Data back to in-face
+//              └miss─> PIT ──hit──> aggregate (record in-face, stop)
+//                      └miss─> insert entry, hand to ForwardingStrategy
+//   Data:      PIT ──hit──> cache in CS, forward to recorded in-faces
+//              └miss─> unsolicited: strategy may cache (pure forwarders do)
+//
+// The ForwardingStrategy hook is where DAPES lives at the network layer:
+// pure-forwarder probabilistic relay + suppression timers and the
+// DAPES-intermediate knowledge-driven forward/suppress logic (paper §V)
+// are strategy implementations in src/dapes/.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ndn/face.hpp"
+#include "ndn/tables.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dapes::ndn {
+
+class Forwarder;
+
+/// Strategy decides what happens to Interests that pass CS and PIT, sees
+/// every packet heard on any face (overhearing is how DAPES intermediates
+/// build their short-lived knowledge), and owns timeout behaviour.
+class ForwardingStrategy {
+ public:
+  virtual ~ForwardingStrategy() = default;
+
+  /// Interest accepted into the PIT; decide where (whether) to send it.
+  virtual void after_receive_interest(Forwarder& fw, FaceId in_face,
+                                      const Interest& interest,
+                                      PitEntry& entry) = 0;
+
+  /// PIT entry expired without data.
+  virtual void on_interest_timeout(Forwarder& /*fw*/, const Name& /*name*/) {}
+
+  /// Data arrived with no matching PIT entry; return true to cache it
+  /// anyway (pure forwarders overhear-and-cache, paper §V-A).
+  virtual bool cache_unsolicited(Forwarder& /*fw*/, FaceId /*in_face*/,
+                                 const Data& /*data*/) {
+    return false;
+  }
+
+  /// Observation hooks: fired for every packet from a non-local face,
+  /// before pipeline processing. DAPES intermediates overhear bitmaps and
+  /// data names here (paper §V-B).
+  virtual void on_overhear_interest(Forwarder& /*fw*/, FaceId /*in_face*/,
+                                    const Interest& /*interest*/) {}
+  virtual void on_overhear_data(Forwarder& /*fw*/, FaceId /*in_face*/,
+                                const Data& /*data*/) {}
+};
+
+/// Default strategy: multicast to all FIB next-hops except the inbound
+/// face (standard NFD multicast behaviour).
+class MulticastStrategy : public ForwardingStrategy {
+ public:
+  void after_receive_interest(Forwarder& fw, FaceId in_face,
+                              const Interest& interest,
+                              PitEntry& entry) override;
+};
+
+class Forwarder {
+ public:
+  struct Options {
+    size_t cs_capacity = 4096;
+    /// Cache data that satisfied a PIT entry (standard NDN behaviour).
+    bool cache_solicited = true;
+  };
+
+  struct Stats {
+    uint64_t interests_in = 0;
+    uint64_t data_in = 0;
+    uint64_t cs_hits = 0;
+    uint64_t pit_aggregated = 0;
+    uint64_t loops_dropped = 0;
+    uint64_t hop_limit_drops = 0;
+    uint64_t interests_forwarded = 0;
+    uint64_t data_forwarded = 0;
+    uint64_t unsolicited_data = 0;
+    uint64_t pit_timeouts = 0;
+  };
+
+  Forwarder(sim::Scheduler& sched, Options options);
+  Forwarder(sim::Scheduler& sched) : Forwarder(sched, Options{}) {}
+
+  /// Register a face; the forwarder keeps shared ownership and installs
+  /// its receive handlers. Returns the assigned FaceId (>= 1).
+  FaceId add_face(std::shared_ptr<Face> face);
+
+  Face* face(FaceId id);
+  const std::vector<std::shared_ptr<Face>>& faces() const { return faces_; }
+
+  void set_strategy(std::unique_ptr<ForwardingStrategy> strategy);
+  ForwardingStrategy& strategy() { return *strategy_; }
+
+  ContentStore& cs() { return cs_; }
+  Pit& pit() { return pit_; }
+  Fib& fib() { return fib_; }
+  sim::Scheduler& scheduler() { return sched_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Strategy actions: transmit out of a specific face. These do NOT
+  /// consult the FIB — the strategy already decided.
+  void send_interest_to(FaceId out_face, const Interest& interest);
+  void send_data_to(FaceId out_face, const Data& data);
+
+ private:
+  void on_incoming_interest(FaceId in_face, Interest interest);
+  void on_incoming_data(FaceId in_face, const Data& data);
+  void on_pit_expiry(Name name);
+
+  sim::Scheduler& sched_;
+  Options options_;
+  ContentStore cs_;
+  Pit pit_;
+  Fib fib_;
+  std::vector<std::shared_ptr<Face>> faces_;  // index = FaceId - 1
+  std::unique_ptr<ForwardingStrategy> strategy_;
+  Stats stats_;
+};
+
+}  // namespace dapes::ndn

@@ -1,0 +1,99 @@
+#include "ndn/name.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace dapes::ndn {
+
+Component Component::from_number(uint64_t number) {
+  return Component(std::to_string(number));
+}
+
+std::optional<uint64_t> Component::to_number() const {
+  if (value_.empty()) return std::nullopt;
+  uint64_t out = 0;
+  const char* begin = reinterpret_cast<const char*>(value_.data());
+  const char* end = begin + value_.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return out;
+}
+
+Name::Name(std::string_view uri) {
+  size_t pos = 0;
+  if (!uri.empty() && uri.front() == '/') pos = 1;
+  while (pos < uri.size()) {
+    size_t slash = uri.find('/', pos);
+    if (slash == std::string_view::npos) slash = uri.size();
+    std::string_view comp = uri.substr(pos, slash - pos);
+    if (!comp.empty()) {
+      components_.emplace_back(comp);
+    }
+    pos = slash + 1;
+  }
+}
+
+Name::Name(std::initializer_list<std::string_view> components) {
+  for (auto c : components) {
+    components_.emplace_back(c);
+  }
+}
+
+Name& Name::append(Component c) {
+  components_.push_back(std::move(c));
+  return *this;
+}
+
+Name& Name::append(std::string_view str) {
+  components_.emplace_back(str);
+  return *this;
+}
+
+Name& Name::append_number(uint64_t number) {
+  components_.push_back(Component::from_number(number));
+  return *this;
+}
+
+Name Name::appended(std::string_view str) const {
+  Name copy = *this;
+  copy.append(str);
+  return copy;
+}
+
+Name Name::appended_number(uint64_t number) const {
+  Name copy = *this;
+  copy.append_number(number);
+  return copy;
+}
+
+Name Name::prefix(size_t n) const {
+  Name out;
+  n = std::min(n, components_.size());
+  out.components_.assign(components_.begin(), components_.begin() + n);
+  return out;
+}
+
+Name Name::get_prefix_dropping(size_t n) const {
+  if (n >= components_.size()) return Name();
+  return prefix(components_.size() - n);
+}
+
+bool Name::is_prefix_of(const Name& other) const {
+  if (components_.size() > other.components_.size()) return false;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] != other.components_[i]) return false;
+  }
+  return true;
+}
+
+std::string Name::to_uri() const {
+  if (components_.empty()) return "/";
+  std::string out;
+  for (const auto& c : components_) {
+    out.push_back('/');
+    out += c.to_string();
+  }
+  return out;
+}
+
+}  // namespace dapes::ndn

@@ -1,0 +1,108 @@
+// NDN names.
+//
+// A Name is an ordered list of byte-string components, printed as a URI
+// ("/damaged-bridge-1533783192/bridge-picture/0"). DAPES relies on the
+// hierarchy: collection prefix -> file name -> packet sequence number, so
+// prefix tests and numeric final components get first-class helpers.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dapes::ndn {
+
+/// One name component (opaque bytes; printable ASCII in practice).
+class Component {
+ public:
+  Component() = default;
+  explicit Component(common::Bytes value) : value_(std::move(value)) {}
+  explicit Component(std::string_view str)
+      : value_(str.begin(), str.end()) {}
+
+  /// Component carrying a decimal sequence number.
+  static Component from_number(uint64_t number);
+
+  /// Parse as a decimal number if the component is all digits.
+  std::optional<uint64_t> to_number() const;
+
+  const common::Bytes& value() const { return value_; }
+  std::string to_string() const {
+    return std::string(value_.begin(), value_.end());
+  }
+
+  bool operator==(const Component&) const = default;
+  auto operator<=>(const Component&) const = default;
+
+ private:
+  common::Bytes value_;
+};
+
+class Name {
+ public:
+  Name() = default;
+
+  /// Parse a URI like "/a/b/c". Empty string or "/" yields the empty name.
+  /// Components may not contain '/'. No percent-decoding (the DAPES
+  /// namespace is plain ASCII).
+  explicit Name(std::string_view uri);
+
+  Name(std::initializer_list<std::string_view> components);
+
+  /// Builder-style append; returns *this for chaining.
+  Name& append(Component c);
+  Name& append(std::string_view str);
+  Name& append_number(uint64_t number);
+
+  /// A copy of this name with one more component.
+  Name appended(std::string_view str) const;
+  Name appended_number(uint64_t number) const;
+
+  size_t size() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+  const Component& at(size_t i) const { return components_.at(i); }
+  const Component& operator[](size_t i) const { return components_[i]; }
+
+  /// First @p n components.
+  Name prefix(size_t n) const;
+
+  /// Drop the last @p n components (default 1).
+  Name get_prefix_dropping(size_t n = 1) const;
+
+  /// True if *this is a (non-strict) prefix of @p other.
+  bool is_prefix_of(const Name& other) const;
+
+  std::string to_uri() const;
+
+  bool operator==(const Name&) const = default;
+  auto operator<=>(const Name&) const = default;
+
+  const std::vector<Component>& components() const { return components_; }
+
+ private:
+  std::vector<Component> components_;
+};
+
+}  // namespace dapes::ndn
+
+template <>
+struct std::hash<dapes::ndn::Name> {
+  size_t operator()(const dapes::ndn::Name& name) const noexcept {
+    // FNV-1a over all component bytes with separators.
+    size_t h = 1469598103934665603ULL;
+    auto mix = [&h](uint8_t b) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    };
+    for (const auto& c : name.components()) {
+      mix(0xff);  // separator
+      for (uint8_t b : c.value()) mix(b);
+    }
+    return h;
+  }
+};

@@ -1,0 +1,205 @@
+#include "ndn/packet.hpp"
+
+#include <cstring>
+
+namespace dapes::ndn {
+
+namespace {
+
+constexpr uint64_t kSignatureTypeDapesMac = 200;  // private-use value
+
+}  // namespace
+
+void append_name(Bytes& out, const Name& name) {
+  Bytes inner;
+  for (const auto& c : name.components()) {
+    tlv::append_tlv(inner, tlv::kGenericNameComponent,
+                    BytesView(c.value().data(), c.value().size()));
+  }
+  tlv::append_tlv(out, tlv::kName, BytesView(inner.data(), inner.size()));
+}
+
+Name parse_name(BytesView value) {
+  Name name;
+  tlv::Reader reader(value);
+  while (!reader.at_end()) {
+    auto e = reader.read_element();
+    if (e.type != tlv::kGenericNameComponent) {
+      throw tlv::ParseError("name: unexpected component type");
+    }
+    name.append(Component(Bytes(e.value.begin(), e.value.end())));
+  }
+  return name;
+}
+
+Bytes Interest::encode() const {
+  Bytes inner;
+  append_name(inner, name_);
+  if (can_be_prefix_) {
+    tlv::append_tlv(inner, tlv::kCanBePrefix, {});
+  }
+  Bytes nonce_bytes;
+  common::append_be(nonce_bytes, nonce_, 4);
+  tlv::append_tlv(inner, tlv::kNonce,
+                  BytesView(nonce_bytes.data(), nonce_bytes.size()));
+  tlv::append_tlv_number(inner, tlv::kInterestLifetime,
+                         static_cast<uint64_t>(lifetime_.to_milliseconds()));
+  Bytes hop;
+  hop.push_back(hop_limit_);
+  tlv::append_tlv(inner, tlv::kHopLimit, BytesView(hop.data(), hop.size()));
+  if (!app_parameters_.empty()) {
+    tlv::append_tlv(inner, tlv::kApplicationParameters,
+                    BytesView(app_parameters_.data(), app_parameters_.size()));
+  }
+
+  Bytes wire;
+  tlv::append_tlv(wire, tlv::kInterest, BytesView(inner.data(), inner.size()));
+  return wire;
+}
+
+Interest Interest::decode(BytesView wire) {
+  tlv::Reader outer(wire);
+  auto packet = outer.expect(tlv::kInterest);
+
+  Interest interest;
+  tlv::Reader reader(packet.value);
+  auto name_el = reader.expect(tlv::kName);
+  interest.name_ = parse_name(name_el.value);
+
+  while (!reader.at_end()) {
+    auto e = reader.read_element();
+    switch (e.type) {
+      case tlv::kCanBePrefix:
+        interest.can_be_prefix_ = true;
+        break;
+      case tlv::kNonce:
+        if (e.value.size() != 4) throw tlv::ParseError("interest: bad nonce");
+        interest.nonce_ =
+            static_cast<uint32_t>(common::read_be(e.value, 0, 4));
+        break;
+      case tlv::kInterestLifetime:
+        interest.lifetime_ =
+            Duration::milliseconds(static_cast<int64_t>(tlv::parse_number(e.value)));
+        break;
+      case tlv::kHopLimit:
+        if (e.value.size() != 1) throw tlv::ParseError("interest: bad hop limit");
+        interest.hop_limit_ = e.value[0];
+        break;
+      case tlv::kApplicationParameters:
+        interest.app_parameters_.assign(e.value.begin(), e.value.end());
+        break;
+      default:
+        break;  // ignore unknown elements (forward-compatible)
+    }
+  }
+  return interest;
+}
+
+void Data::sign(const crypto::PrivateKey& key) {
+  signature_ = key.sign(name_.to_uri(),
+                        BytesView(content_.data(), content_.size()));
+}
+
+bool Data::verify(const crypto::KeyChain& keychain) const {
+  if (!signature_) return false;
+  return keychain.verify(name_.to_uri(),
+                         BytesView(content_.data(), content_.size()),
+                         *signature_);
+}
+
+crypto::Digest Data::content_digest() const {
+  return crypto::Sha256::hash(BytesView(content_.data(), content_.size()));
+}
+
+Bytes Data::encode() const {
+  Bytes inner;
+  append_name(inner, name_);
+
+  Bytes meta;
+  tlv::append_tlv_number(meta, tlv::kFreshnessPeriod,
+                         static_cast<uint64_t>(freshness_.to_milliseconds()));
+  tlv::append_tlv(inner, tlv::kMetaInfo, BytesView(meta.data(), meta.size()));
+
+  tlv::append_tlv(inner, tlv::kContent,
+                  BytesView(content_.data(), content_.size()));
+
+  if (signature_) {
+    Bytes sig_info;
+    tlv::append_tlv_number(sig_info, tlv::kSignatureType, kSignatureTypeDapesMac);
+    tlv::append_tlv(sig_info, tlv::kKeyLocator,
+                    signature_->signer.id.view());
+    tlv::append_tlv(inner, tlv::kSignatureInfo,
+                    BytesView(sig_info.data(), sig_info.size()));
+    tlv::append_tlv(inner, tlv::kSignatureValue, signature_->mac.view());
+  }
+
+  Bytes wire;
+  tlv::append_tlv(wire, tlv::kData, BytesView(inner.data(), inner.size()));
+  return wire;
+}
+
+Data Data::decode(BytesView wire) {
+  tlv::Reader outer(wire);
+  auto packet = outer.expect(tlv::kData);
+
+  Data data;
+  tlv::Reader reader(packet.value);
+  auto name_el = reader.expect(tlv::kName);
+  data.name_ = parse_name(name_el.value);
+
+  std::optional<crypto::KeyId> signer;
+  std::optional<crypto::Digest> mac;
+
+  while (!reader.at_end()) {
+    auto e = reader.read_element();
+    switch (e.type) {
+      case tlv::kMetaInfo: {
+        tlv::Reader meta(e.value);
+        while (!meta.at_end()) {
+          auto m = meta.read_element();
+          if (m.type == tlv::kFreshnessPeriod) {
+            data.freshness_ = Duration::milliseconds(
+                static_cast<int64_t>(tlv::parse_number(m.value)));
+          }
+        }
+        break;
+      }
+      case tlv::kContent:
+        data.content_.assign(e.value.begin(), e.value.end());
+        break;
+      case tlv::kSignatureInfo: {
+        tlv::Reader info(e.value);
+        while (!info.at_end()) {
+          auto m = info.read_element();
+          if (m.type == tlv::kKeyLocator) {
+            if (m.value.size() != 32) {
+              throw tlv::ParseError("data: bad key locator");
+            }
+            crypto::KeyId id;
+            std::memcpy(id.id.bytes.data(), m.value.data(), 32);
+            signer = id;
+          }
+        }
+        break;
+      }
+      case tlv::kSignatureValue: {
+        if (e.value.size() != 32) {
+          throw tlv::ParseError("data: bad signature value");
+        }
+        crypto::Digest d;
+        std::memcpy(d.bytes.data(), e.value.data(), 32);
+        mac = d;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  if (signer && mac) {
+    data.signature_ = crypto::Signature{*signer, *mac};
+  }
+  return data;
+}
+
+}  // namespace dapes::ndn

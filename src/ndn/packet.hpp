@@ -1,0 +1,104 @@
+// Interest and Data packets with NDN-TLV wire encoding.
+//
+// DAPES uses ApplicationParameters on Interests to carry its bitmap
+// payloads ("bitmap Interests", paper §IV-D), and Data signatures bind
+// content to names so receivers can reason about provenance (§I). The
+// signature here is the KeyChain MAC scheme documented in
+// crypto/keychain.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "crypto/keychain.hpp"
+#include "ndn/name.hpp"
+#include "ndn/tlv.hpp"
+
+namespace dapes::ndn {
+
+using common::Bytes;
+using common::BytesView;
+using common::Duration;
+
+class Interest {
+ public:
+  Interest() = default;
+  explicit Interest(Name name) : name_(std::move(name)) {}
+
+  const Name& name() const { return name_; }
+  void set_name(Name name) { name_ = std::move(name); }
+
+  uint32_t nonce() const { return nonce_; }
+  void set_nonce(uint32_t nonce) { nonce_ = nonce; }
+
+  bool can_be_prefix() const { return can_be_prefix_; }
+  void set_can_be_prefix(bool v) { can_be_prefix_ = v; }
+
+  Duration lifetime() const { return lifetime_; }
+  void set_lifetime(Duration d) { lifetime_ = d; }
+
+  uint8_t hop_limit() const { return hop_limit_; }
+  void set_hop_limit(uint8_t h) { hop_limit_ = h; }
+
+  const Bytes& app_parameters() const { return app_parameters_; }
+  void set_app_parameters(Bytes params) { app_parameters_ = std::move(params); }
+  bool has_app_parameters() const { return !app_parameters_.empty(); }
+
+  Bytes encode() const;
+  static Interest decode(BytesView wire);
+
+  bool operator==(const Interest&) const = default;
+
+ private:
+  Name name_;
+  uint32_t nonce_ = 0;
+  bool can_be_prefix_ = false;
+  Duration lifetime_ = Duration::milliseconds(4000);
+  uint8_t hop_limit_ = 32;
+  Bytes app_parameters_;
+};
+
+class Data {
+ public:
+  Data() = default;
+  explicit Data(Name name) : name_(std::move(name)) {}
+
+  const Name& name() const { return name_; }
+  void set_name(Name name) { name_ = std::move(name); }
+
+  const Bytes& content() const { return content_; }
+  void set_content(Bytes content) { content_ = std::move(content); }
+
+  Duration freshness() const { return freshness_; }
+  void set_freshness(Duration d) { freshness_ = d; }
+
+  const std::optional<crypto::Signature>& signature() const { return signature_; }
+
+  /// Sign with the producer's key: binds (name, content).
+  void sign(const crypto::PrivateKey& key);
+
+  /// Verify against a keychain. Unsigned data never verifies.
+  bool verify(const crypto::KeyChain& keychain) const;
+
+  /// SHA-256 over the content (used by metadata digests and Merkle leaves).
+  crypto::Digest content_digest() const;
+
+  Bytes encode() const;
+  static Data decode(BytesView wire);
+
+  bool operator==(const Data&) const = default;
+
+ private:
+  Name name_;
+  Bytes content_;
+  Duration freshness_ = Duration::milliseconds(10000);
+  std::optional<crypto::Signature> signature_;
+};
+
+/// Name TLV helpers shared by both packet codecs.
+void append_name(Bytes& out, const Name& name);
+Name parse_name(BytesView value);
+
+}  // namespace dapes::ndn

@@ -1,0 +1,132 @@
+// NFD-lite data plane tables: Content Store, Pending Interest Table, and
+// Forwarding Information Base (paper Fig. 1).
+//
+// All three are ordered by Name so prefix queries (CanBePrefix lookups,
+// longest-prefix match) are a lower_bound away. Sizes are bounded; the CS
+// evicts LRU, which is what lets pure forwarders serve overheard data
+// (paper §V-A) without unbounded memory.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+#include "ndn/packet.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dapes::ndn {
+
+using FaceId = uint32_t;
+using common::TimePoint;
+
+/// In-network cache of Data packets.
+///
+/// Entries expire after the packet's FreshnessPeriod (short-lived data
+/// such as discovery responses must not be served stale); lookups skip
+/// and evict expired entries.
+class ContentStore {
+ public:
+  explicit ContentStore(size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Insert (or refresh) a Data packet, stamped with the current time.
+  void insert(const Data& data, TimePoint now = TimePoint::zero());
+
+  /// Exact-name lookup; @p can_be_prefix widens to "any data under name".
+  std::optional<Data> find(const Name& name, bool can_be_prefix = false,
+                           TimePoint now = TimePoint::zero());
+
+  bool contains(const Name& name) const { return entries_.contains(name); }
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Approximate memory footprint (content bytes), for Table-I style
+  /// system-load reporting.
+  size_t content_bytes() const { return content_bytes_; }
+
+ private:
+  void touch(const Name& name);
+  void evict_one();
+
+  struct Entry {
+    Data data;
+    TimePoint expires{};
+    std::list<Name>::iterator lru_it;
+  };
+
+  size_t capacity_;
+  size_t content_bytes_ = 0;
+  std::map<Name, Entry> entries_;
+  std::list<Name> lru_;  // front = least recently used
+};
+
+/// One pending Interest: who asked, which nonces were seen, when it dies.
+struct PitEntry {
+  Name name;
+  bool can_be_prefix = false;
+  TimePoint expiry{};
+  /// Faces the Interest arrived on (data goes back to these).
+  std::vector<FaceId> in_faces;
+  /// Set when this node relayed the Interest onto the broadcast medium.
+  /// On a broadcast face the upstream (data source) and downstream
+  /// (requester) share one face; a relaying node must re-broadcast the
+  /// returning Data exactly when it forwarded the Interest itself.
+  bool relayed_to_network = false;
+  /// Nonces seen for this name — duplicates indicate loops.
+  std::unordered_set<uint32_t> nonces;
+  sim::EventId expiry_event{};
+};
+
+class Pit {
+ public:
+  /// Find the entry with this exact name.
+  PitEntry* find(const Name& name);
+
+  /// All entries satisfied by data with @p data_name (exact match, plus
+  /// CanBePrefix entries whose name prefixes it).
+  std::vector<Name> matches_for_data(const Name& data_name) const;
+
+  /// Insert a new entry; returns a stable reference.
+  PitEntry& insert(const Name& name);
+
+  void erase(const Name& name);
+  size_t size() const { return entries_.size(); }
+
+  /// True if @p nonce was already recorded anywhere for @p name
+  /// (loop detection across live entries + dead-nonce history).
+  bool has_nonce(const Name& name, uint32_t nonce) const;
+
+  /// Record into the dead nonce list (consulted after entries expire).
+  void record_dead_nonce(const Name& name, uint32_t nonce);
+
+ private:
+  std::map<Name, PitEntry> entries_;
+  // Bounded FIFO of (name-hash ^ nonce) fingerprints.
+  static constexpr size_t kDeadNonceCap = 8192;
+  std::list<uint64_t> dead_order_;
+  std::unordered_set<uint64_t> dead_set_;
+};
+
+/// Longest-prefix-match routing table: prefix -> out-faces.
+class Fib {
+ public:
+  void add_route(const Name& prefix, FaceId face);
+  void remove_route(const Name& prefix, FaceId face);
+
+  /// Faces for the longest matching prefix (empty when no route).
+  std::vector<FaceId> lookup(const Name& name) const;
+
+  /// All registered prefixes pointing at @p face (used by app discovery).
+  std::vector<Name> prefixes_for(FaceId face) const;
+
+  size_t size() const { return routes_.size(); }
+
+ private:
+  std::map<Name, std::set<FaceId>> routes_;
+};
+
+}  // namespace dapes::ndn

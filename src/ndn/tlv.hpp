@@ -1,0 +1,88 @@
+// NDN TLV encoding (subset of the NDN Packet Format Specification v0.3).
+//
+// Type and Length use the NDN variable-size number encoding: one byte for
+// values < 253, 0xFD + 2 bytes, 0xFE + 4 bytes, 0xFF + 8 bytes. This codec
+// is shared by Interest/Data wire encoding and by DAPES metadata payloads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace dapes::ndn::tlv {
+
+/// TLV type numbers used in this implementation (NDN spec values).
+enum Type : uint64_t {
+  kInterest = 0x05,
+  kData = 0x06,
+  kName = 0x07,
+  kGenericNameComponent = 0x08,
+  kCanBePrefix = 0x21,
+  kMustBeFresh = 0x12,
+  kNonce = 0x0a,
+  kInterestLifetime = 0x0c,
+  kHopLimit = 0x22,
+  kApplicationParameters = 0x24,
+  kMetaInfo = 0x14,
+  kContentType = 0x18,
+  kFreshnessPeriod = 0x19,
+  kContent = 0x15,
+  kSignatureInfo = 0x16,
+  kSignatureValue = 0x17,
+  kSignatureType = 0x1b,
+  kKeyLocator = 0x1c,
+};
+
+struct ParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Append a TLV variable-size number.
+void append_varnum(common::Bytes& out, uint64_t value);
+
+/// Append a full TLV element (type, length, value bytes).
+void append_tlv(common::Bytes& out, uint64_t type, common::BytesView value);
+
+/// Append a TLV element whose value is a non-negative integer in
+/// shortest big-endian form (NDN NonNegativeInteger).
+void append_tlv_number(common::Bytes& out, uint64_t type, uint64_t value);
+
+/// Incremental TLV reader over a byte view.
+class Reader {
+ public:
+  explicit Reader(common::BytesView data) : data_(data) {}
+
+  bool at_end() const { return offset_ >= data_.size(); }
+  size_t offset() const { return offset_; }
+
+  /// Read a variable-size number. @throws ParseError on truncation.
+  uint64_t read_varnum();
+
+  /// Peek the type of the next element without consuming it.
+  uint64_t peek_type();
+
+  /// Read the next element header and return its value as a sub-view.
+  struct Element {
+    uint64_t type;
+    common::BytesView value;
+  };
+  Element read_element();
+
+  /// Read the next element, requiring the given type.
+  Element expect(uint64_t type);
+
+  /// Skip elements until one of type @p type is found; returns nullopt if
+  /// the reader drains first.
+  std::optional<Element> find(uint64_t type);
+
+ private:
+  common::BytesView data_;
+  size_t offset_ = 0;
+};
+
+/// Parse a NonNegativeInteger value field.
+uint64_t parse_number(common::BytesView value);
+
+}  // namespace dapes::ndn::tlv

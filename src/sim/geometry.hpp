@@ -1,0 +1,47 @@
+// 2-D geometry helpers for the mobility models and the range-based
+// connectivity test in the wireless medium.
+#pragma once
+
+#include <cmath>
+
+namespace dapes::sim {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double k) const { return {x * k, y * k}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  double norm() const { return std::sqrt(x * x + y * y); }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+inline bool within_range(Vec2 a, Vec2 b, double range) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy <= range * range;
+}
+
+/// Axis-aligned field the nodes move in (paper Fig. 7: 300 m x 300 m).
+struct Field {
+  double width = 300.0;
+  double height = 300.0;
+
+  Vec2 clamp(Vec2 p) const {
+    if (p.x < 0) p.x = 0;
+    if (p.y < 0) p.y = 0;
+    if (p.x > width) p.x = width;
+    if (p.y > height) p.y = height;
+    return p;
+  }
+
+  bool contains(Vec2 p) const {
+    return p.x >= 0 && p.y >= 0 && p.x <= width && p.y <= height;
+  }
+};
+
+}  // namespace dapes::sim

@@ -1,0 +1,149 @@
+#include "sim/medium.hpp"
+
+#include <stdexcept>
+
+namespace dapes::sim {
+
+Medium::Medium(Scheduler& sched, Params params, common::Rng rng)
+    : sched_(sched), params_(params), rng_(rng) {}
+
+NodeId Medium::add_node(MobilityModel* mobility, ReceiveCallback on_receive) {
+  if (mobility == nullptr) {
+    throw std::invalid_argument("Medium::add_node: null mobility");
+  }
+  nodes_.push_back(NodeEntry{mobility, std::move(on_receive)});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Duration Medium::frame_duration(size_t payload_bytes) const {
+  double bits =
+      static_cast<double>(payload_bytes + params_.frame_overhead_bytes) * 8.0;
+  double seconds = bits / params_.data_rate_bps;
+  return Duration::seconds(seconds);
+}
+
+Vec2 Medium::position_of(NodeId node) const {
+  return nodes_.at(node).mobility->position_at(sched_.now());
+}
+
+bool Medium::in_range(NodeId a, NodeId b) const {
+  return within_range(position_of(a), position_of(b), params_.range_m);
+}
+
+std::vector<NodeId> Medium::neighbors_of(NodeId node) const {
+  std::vector<NodeId> out;
+  Vec2 p = position_of(node);
+  for (NodeId other = 0; other < nodes_.size(); ++other) {
+    if (other == node) continue;
+    if (within_range(p, position_of(other), params_.range_m)) {
+      out.push_back(other);
+    }
+  }
+  return out;
+}
+
+void Medium::transmit(FramePtr frame, SendCompleteCallback on_complete) {
+  if (!frame) {
+    throw std::invalid_argument("Medium::transmit: null frame");
+  }
+  const NodeId sender = frame->sender;
+  const TimePoint start = sched_.now();
+  const TimePoint end =
+      start + frame_duration(frame->payload.size()) + params_.propagation;
+
+  ++stats_.transmissions;
+  stats_.bytes_sent += frame->payload.size() + params_.frame_overhead_bytes;
+  ++stats_.tx_by_kind[frame->kind];
+
+  uint64_t id = next_tx_id_++;
+  ActiveTx tx;
+  tx.id = id;
+  tx.frame = frame;
+  tx.sender_pos = position_of(sender);
+  tx.start = start;
+  tx.end = end;
+  tx.on_complete = std::move(on_complete);
+
+  // Mutual collision marking with every transmission currently in flight.
+  // Overlap is decided at start time: a new frame overlaps exactly the
+  // set of frames still active now.
+  for (auto& [other_id, other] : active_) {
+    other.collider_positions.push_back(tx.sender_pos);
+    tx.collider_positions.push_back(other.sender_pos);
+  }
+
+  active_.emplace(id, std::move(tx));
+  sched_.schedule_at(end, [this, id] { deliver(id); });
+}
+
+bool Medium::busy_for(NodeId node) const {
+  Vec2 p = position_of(node);
+  for (const auto& [id, tx] : active_) {
+    if (within_range(p, tx.sender_pos, params_.range_m)) return true;
+  }
+  return false;
+}
+
+TimePoint Medium::busy_until(NodeId node) const {
+  Vec2 p = position_of(node);
+  TimePoint latest = sched_.now();
+  for (const auto& [id, tx] : active_) {
+    if (within_range(p, tx.sender_pos, params_.range_m) && tx.end > latest) {
+      latest = tx.end;
+    }
+  }
+  return latest;
+}
+
+void Medium::deliver(uint64_t tx_id) {
+  auto it = active_.find(tx_id);
+  if (it == active_.end()) return;
+  ActiveTx tx = std::move(it->second);
+  active_.erase(it);
+
+  const NodeId sender = tx.frame->sender;
+  TxReport report;
+
+  for (NodeId receiver = 0; receiver < nodes_.size(); ++receiver) {
+    if (receiver == sender) continue;
+    Vec2 rp = nodes_[receiver].mobility->position_at(tx.start);
+    if (!within_range(rp, tx.sender_pos, params_.range_m)) continue;
+    ++report.receivers;
+
+    // Collision: another overlapping transmission audible here corrupts
+    // the frame unless the sender is enough closer than the interferer
+    // for physical-layer capture.
+    bool collided = false;
+    const double own_dist = distance(rp, tx.sender_pos);
+    for (const Vec2& cp : tx.collider_positions) {
+      if (!within_range(rp, cp, params_.range_m)) continue;
+      double interferer_dist = distance(rp, cp);
+      if (params_.capture_ratio > 0.0 &&
+          own_dist <= params_.capture_ratio * interferer_dist) {
+        continue;  // captured: our signal dominates this interferer
+      }
+      collided = true;
+      break;
+    }
+    if (collided) {
+      ++stats_.collision_drops;
+      ++report.collided;
+      continue;
+    }
+    if (rng_.chance(params_.loss_rate)) {
+      ++stats_.losses;
+      ++report.lost;
+      continue;
+    }
+    ++stats_.deliveries;
+    ++report.delivered;
+    if (nodes_[receiver].on_receive) {
+      nodes_[receiver].on_receive(tx.frame, receiver);
+    }
+  }
+
+  if (report.collided_anywhere()) ++stats_.collided_frames;
+  if (tx.on_complete) tx.on_complete(report);
+}
+
+}  // namespace dapes::sim

@@ -1,0 +1,149 @@
+// Shared broadcast wireless medium.
+//
+// Models the parts of IEEE 802.11b ad-hoc mode the evaluation depends on:
+//   * range-based connectivity (paper sweeps WiFi range 20-100 m),
+//   * serialization delay at a configurable data rate (paper: 11 Mbps),
+//   * independent Bernoulli loss per receiver (paper: 10 %),
+//   * collisions: two transmissions whose intervals overlap corrupt each
+//     other at every receiver that is in range of both senders. This is
+//     the hidden-terminal/same-slot mechanism PEBA mitigates.
+//
+// The sender learns whether its frame collided anywhere via the completion
+// callback — an abstraction of detecting a collision through the absence
+// of the expected response (the paper's peers detect collisions and then
+// run PEBA). See DESIGN.md "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "sim/mobility.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dapes::sim {
+
+using NodeId = uint32_t;
+
+/// One frame on the air. The payload is opaque to the medium.
+struct Frame {
+  NodeId sender = 0;
+  common::Bytes payload;
+  /// Upper-layer tag used only for statistics (e.g. "interest", "data",
+  /// "hello"). Never interpreted by the medium.
+  std::string kind;
+};
+
+using FramePtr = std::shared_ptr<const Frame>;
+
+/// Aggregate medium statistics for one trial.
+struct MediumStats {
+  uint64_t transmissions = 0;   ///< frames put on the air
+  uint64_t deliveries = 0;      ///< successful (frame, receiver) pairs
+  uint64_t losses = 0;          ///< dropped by random loss
+  uint64_t collision_drops = 0; ///< dropped because of a collision
+  uint64_t collided_frames = 0; ///< frames that collided at >=1 receiver
+  uint64_t bytes_sent = 0;
+
+  /// Per-kind transmission counts (protocol overhead breakdown).
+  std::unordered_map<std::string, uint64_t> tx_by_kind;
+};
+
+class Medium {
+ public:
+  struct Params {
+    double range_m = 60.0;
+    double data_rate_bps = 11e6;       // paper: 802.11b, 11 Mbps
+    double loss_rate = 0.10;           // paper: 10 %
+    Duration propagation = Duration::microseconds(1);
+    /// Fixed per-frame overhead (preamble/MAC header), bytes.
+    size_t frame_overhead_bytes = 34;
+    /// Physical-layer capture: a frame survives an overlap when its
+    /// sender is at most this fraction of the interferer's distance from
+    /// the receiver (power advantage ~1/ratio^2). Set to 0 to disable
+    /// capture (any overlap kills both frames).
+    double capture_ratio = 0.7;
+  };
+
+  /// Delivered frame + the receiving node.
+  using ReceiveCallback = std::function<void(const FramePtr&, NodeId receiver)>;
+
+  /// Outcome of one transmission, reported back to the sender. This
+  /// abstracts the sender's ability to detect collisions from missing
+  /// responses (paper §IV-F); `mostly_collided()` is the signal PEBA
+  /// reacts to.
+  struct TxReport {
+    size_t receivers = 0;  ///< nodes in range at transmission time
+    size_t collided = 0;   ///< receivers that saw a collision
+    size_t lost = 0;       ///< receivers that dropped it to random loss
+    size_t delivered = 0;  ///< receivers that got the frame
+
+    bool mostly_collided() const {
+      return receivers > 0 && collided * 2 > receivers;
+    }
+    bool collided_anywhere() const { return collided > 0; }
+  };
+  using SendCompleteCallback = std::function<void(const TxReport&)>;
+
+  Medium(Scheduler& sched, Params params, common::Rng rng);
+
+  /// Register a node. The medium does not own the mobility model.
+  NodeId add_node(MobilityModel* mobility, ReceiveCallback on_receive);
+
+  /// Put a frame on the air now. Serialization + propagation delay apply.
+  void transmit(FramePtr frame, SendCompleteCallback on_complete = nullptr);
+
+  /// Carrier sense: true if any in-flight transmission is audible at
+  /// @p node right now.
+  bool busy_for(NodeId node) const;
+
+  /// Latest end time among transmissions audible at @p node (now() if idle).
+  TimePoint busy_until(NodeId node) const;
+
+  /// Airtime of a frame of @p payload_bytes including overhead.
+  Duration frame_duration(size_t payload_bytes) const;
+
+  Vec2 position_of(NodeId node) const;
+  bool in_range(NodeId a, NodeId b) const;
+  std::vector<NodeId> neighbors_of(NodeId node) const;
+  size_t node_count() const { return nodes_.size(); }
+
+  const Params& params() const { return params_; }
+  void set_range(double range_m) { params_.range_m = range_m; }
+
+  const MediumStats& stats() const { return stats_; }
+  MediumStats& stats() { return stats_; }
+
+ private:
+  struct NodeEntry {
+    MobilityModel* mobility = nullptr;
+    ReceiveCallback on_receive;
+  };
+
+  struct ActiveTx {
+    uint64_t id = 0;
+    FramePtr frame;
+    Vec2 sender_pos;
+    TimePoint start;
+    TimePoint end;
+    /// Positions of senders whose transmissions overlapped this one.
+    std::vector<Vec2> collider_positions;
+    SendCompleteCallback on_complete;
+  };
+
+  void deliver(uint64_t tx_id);
+
+  Scheduler& sched_;
+  Params params_;
+  common::Rng rng_;
+  std::vector<NodeEntry> nodes_;
+  std::unordered_map<uint64_t, ActiveTx> active_;
+  uint64_t next_tx_id_ = 1;
+  MediumStats stats_;
+};
+
+}  // namespace dapes::sim

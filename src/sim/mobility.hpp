@@ -1,0 +1,98 @@
+// Node mobility models.
+//
+// The paper's simulation uses 40 mobile nodes picking random directions in
+// [0, 2*pi) and random speeds in [2, 10] m/s inside a 300 m x 300 m field
+// (Fig. 7), plus 4 stationary repositories. The real-world scenarios of
+// Fig. 8 move peers along scripted paths; WaypointMobility reproduces
+// those. Positions are evaluated lazily from closed-form segment motion,
+// so mobility adds no scheduler events of its own.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/geometry.hpp"
+
+namespace dapes::sim {
+
+using common::Duration;
+using common::TimePoint;
+
+/// Interface: where is the node at simulated time t?
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  virtual Vec2 position_at(TimePoint t) = 0;
+};
+
+/// Fixed position (repositories / stationary nodes).
+class StationaryMobility final : public MobilityModel {
+ public:
+  explicit StationaryMobility(Vec2 pos) : pos_(pos) {}
+  Vec2 position_at(TimePoint) override { return pos_; }
+
+ private:
+  Vec2 pos_;
+};
+
+/// Random-direction model with boundary reflection.
+///
+/// The node repeatedly draws a direction uniform in [0, 2*pi), a speed
+/// uniform in [speed_min, speed_max], and a leg duration uniform in
+/// [leg_min, leg_max]; it reflects off field edges mid-leg. Legs are
+/// materialized on demand up to the queried time.
+class RandomDirectionMobility final : public MobilityModel {
+ public:
+  struct Params {
+    Field field{};
+    double speed_min = 2.0;   // m/s, paper value
+    double speed_max = 10.0;  // m/s, paper value
+    Duration leg_min = Duration::seconds(5.0);
+    Duration leg_max = Duration::seconds(20.0);
+  };
+
+  RandomDirectionMobility(Vec2 start, Params params, common::Rng rng);
+
+  Vec2 position_at(TimePoint t) override;
+
+ private:
+  struct Leg {
+    TimePoint start_time;
+    TimePoint end_time;
+    Vec2 start_pos;
+    Vec2 velocity;  // m/s
+  };
+
+  void extend_to(TimePoint t);
+  Leg make_leg(TimePoint start_time, Vec2 start_pos);
+  static Vec2 move_with_reflection(Vec2 from, Vec2& velocity, double dt,
+                                   const Field& field);
+
+  Params params_;
+  common::Rng rng_;
+  std::vector<Leg> legs_;
+};
+
+/// Piecewise-linear scripted path: the node is at waypoint[i].pos at
+/// waypoint[i].at and moves linearly between consecutive waypoints; it
+/// holds the last position afterwards. Used for the Fig. 8 real-world
+/// scenario reproductions.
+class WaypointMobility final : public MobilityModel {
+ public:
+  struct Waypoint {
+    TimePoint at;
+    Vec2 pos;
+  };
+
+  /// Waypoints must be sorted by time and non-empty.
+  explicit WaypointMobility(std::vector<Waypoint> waypoints);
+
+  Vec2 position_at(TimePoint t) override;
+
+ private:
+  std::vector<Waypoint> waypoints_;
+};
+
+}  // namespace dapes::sim

@@ -1,0 +1,75 @@
+#include "sim/radio.hpp"
+
+#include <algorithm>
+
+namespace dapes::sim {
+
+Radio::Radio(Scheduler& sched, Medium& medium, NodeId node, common::Rng rng)
+    : Radio(sched, medium, node, rng, Params{}) {}
+
+Radio::Radio(Scheduler& sched, Medium& medium, NodeId node, common::Rng rng,
+             Params params)
+    : sched_(sched),
+      medium_(medium),
+      node_(node),
+      rng_(rng),
+      params_(params),
+      cw_(params.cw_min) {}
+
+void Radio::send(FramePtr frame, SendCompleteCallback on_complete) {
+  queue_.push_back(Pending{std::move(frame), std::move(on_complete), 0});
+  if (!attempt_scheduled_ && !transmitting_) {
+    attempt_scheduled_ = true;
+    // Small random dither so co-located nodes that enqueue in the same
+    // event don't probe the channel at the identical instant.
+    Duration dither =
+        Duration::microseconds(static_cast<int64_t>(rng_.next_below(
+            static_cast<uint64_t>(params_.slot.us) + 1)));
+    sched_.schedule(dither, [this] { try_send(); });
+  }
+}
+
+void Radio::try_send() {
+  attempt_scheduled_ = false;
+  if (transmitting_ || queue_.empty()) return;
+
+  if (medium_.busy_for(node_)) {
+    Pending& head = queue_.front();
+    if (++head.defers > params_.max_defers) {
+      ++drops_;
+      auto cb = std::move(head.on_complete);
+      queue_.pop_front();
+      // Report a total failure: never reached the air.
+      if (cb) cb(Medium::TxReport{});
+      if (!queue_.empty()) schedule_retry();
+      return;
+    }
+    cw_ = std::min(cw_ * 2, params_.cw_max);
+    schedule_retry();
+    return;
+  }
+
+  cw_ = params_.cw_min;
+  Pending head = std::move(queue_.front());
+  queue_.pop_front();
+  transmitting_ = true;
+  auto cb = std::move(head.on_complete);
+  medium_.transmit(head.frame, [this, cb](const Medium::TxReport& report) {
+    transmitting_ = false;
+    if (cb) cb(report);
+    if (!queue_.empty() && !attempt_scheduled_) {
+      attempt_scheduled_ = true;
+      sched_.schedule(params_.ifs, [this] { try_send(); });
+    }
+  });
+}
+
+void Radio::schedule_retry() {
+  TimePoint idle_at = medium_.busy_until(node_);
+  int slots = static_cast<int>(rng_.next_below(static_cast<uint64_t>(cw_)));
+  TimePoint at = idle_at + params_.ifs + params_.slot * slots;
+  attempt_scheduled_ = true;
+  sched_.schedule_at(at, [this] { try_send(); });
+}
+
+}  // namespace dapes::sim

@@ -1,0 +1,73 @@
+// Per-node radio with CSMA/CA-style deferral.
+//
+// Protocol layers hand frames to their node's Radio instead of the Medium
+// directly. The radio carrier-senses before transmitting and defers with a
+// small random backoff while the channel is audible, which is the 802.11
+// DCF behaviour the paper's peers run on. Collisions still occur for
+// same-slot starts and hidden terminals — exactly the residual collisions
+// DAPES mitigates at the application layer with random timers and PEBA.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dapes::sim {
+
+class Radio {
+ public:
+  struct Params {
+    /// 802.11b-ish DCF slot time.
+    Duration slot = Duration::microseconds(20);
+    /// Inter-frame space waited after the channel goes idle.
+    Duration ifs = Duration::microseconds(50);
+    /// Contention window (slots) used while deferring. 802.11b DCF uses
+    /// CWmin=31; we keep a power of two and a deep CWmax because scaled
+    /// frames occupy the air longer than real 802.11b frames.
+    int cw_min = 32;
+    int cw_max = 1024;
+    /// Give up after this many busy-deferrals (frame dropped).
+    int max_defers = 200;
+  };
+
+  using SendCompleteCallback = Medium::SendCompleteCallback;
+
+  Radio(Scheduler& sched, Medium& medium, NodeId node, common::Rng rng);
+  Radio(Scheduler& sched, Medium& medium, NodeId node, common::Rng rng,
+        Params params);
+
+  /// Queue a frame for transmission. Frames leave in FIFO order.
+  void send(FramePtr frame, SendCompleteCallback on_complete = nullptr);
+
+  NodeId node() const { return node_; }
+  size_t queue_depth() const { return queue_.size(); }
+
+  /// Frames dropped after exhausting max_defers.
+  uint64_t drops() const { return drops_; }
+
+ private:
+  struct Pending {
+    FramePtr frame;
+    SendCompleteCallback on_complete;
+    int defers = 0;
+  };
+
+  void try_send();
+  void schedule_retry();
+
+  Scheduler& sched_;
+  Medium& medium_;
+  NodeId node_;
+  common::Rng rng_;
+  Params params_;
+  std::deque<Pending> queue_;
+  bool attempt_scheduled_ = false;
+  bool transmitting_ = false;
+  int cw_ = 4;
+  uint64_t drops_ = 0;
+};
+
+}  // namespace dapes::sim

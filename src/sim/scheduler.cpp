@@ -1,0 +1,67 @@
+#include "sim/scheduler.hpp"
+
+namespace dapes::sim {
+
+EventId Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  const uint64_t id = next_id_++;
+  Entry e;
+  e.at = at;
+  e.seq = next_seq_++;
+  e.id = id;
+  e.fn = std::make_shared<std::function<void()>>(std::move(fn));
+  heap_.push(std::move(e));
+  return EventId{id};
+}
+
+EventId Scheduler::schedule(Duration delay, std::function<void()> fn) {
+  if (delay.us < 0) delay.us = 0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (!id.valid()) return false;
+  // Only mark; the entry is discarded lazily at pop time.
+  return cancelled_.insert(id.value).second;
+}
+
+size_t Scheduler::run_until(TimePoint until) {
+  size_t count = 0;
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (top.at > until) break;
+    Entry e = top;
+    heap_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = e.at;
+    ++executed_;
+    ++count;
+    (*e.fn)();
+  }
+  // The clock always reaches the requested horizon, whether or not
+  // events remain beyond it.
+  if (now_ < until) now_ = until;
+  return count;
+}
+
+size_t Scheduler::run() {
+  size_t count = 0;
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = e.at;
+    ++executed_;
+    ++count;
+    (*e.fn)();
+  }
+  return count;
+}
+
+}  // namespace dapes::sim

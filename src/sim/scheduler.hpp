@@ -1,0 +1,83 @@
+// Discrete-event scheduler.
+//
+// Single-threaded, deterministic: events at the same timestamp fire in
+// insertion order (a strictly increasing sequence number breaks ties), so
+// identical seeds give identical runs. Everything in the repository — the
+// wireless medium, NDN forwarders, DAPES peers, the IP baselines — runs on
+// one Scheduler instance per trial.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace dapes::sim {
+
+using common::Duration;
+using common::TimePoint;
+
+/// Handle for cancelling a scheduled event.
+struct EventId {
+  uint64_t value = 0;
+  bool valid() const { return value != 0; }
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedule @p fn to run at absolute time @p at (clamped to now()).
+  EventId schedule_at(TimePoint at, std::function<void()> fn);
+
+  /// Schedule @p fn after a relative delay (negative delays clamp to 0).
+  EventId schedule(Duration delay, std::function<void()> fn);
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Run until the queue is empty or simulated time reaches @p until.
+  /// Returns the number of events executed by this call.
+  size_t run_until(TimePoint until);
+
+  /// Run until the queue drains completely.
+  size_t run();
+
+  /// Number of live (non-cancelled) pending events.
+  size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+  /// Total events executed over the scheduler's lifetime.
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    uint64_t seq = 0;
+    uint64_t id = 0;
+    std::shared_ptr<std::function<void()>> fn;
+  };
+  struct EntryCompare {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_ = TimePoint::zero();
+  uint64_t next_seq_ = 1;
+  uint64_t next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap_;
+  std::unordered_set<uint64_t> cancelled_;
+};
+
+}  // namespace dapes::sim

@@ -1,0 +1,246 @@
+// Unit tests for the crypto substrate: SHA-256 vectors, key chain
+// signing/trust, Merkle trees (parameterized over leaf counts).
+#include <gtest/gtest.h>
+
+#include "crypto/keychain.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dapes::crypto {
+namespace {
+
+using common::Bytes;
+using common::BytesView;
+using common::bytes_of;
+
+// --- SHA-256 (FIPS 180-4 test vectors) ---
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(Sha256::hash(std::string_view{}).to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::hash("abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+          .to_hex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(ctx.final_digest().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 ctx;
+    ctx.update(std::string_view(msg).substr(0, split));
+    ctx.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(ctx.final_digest(), Sha256::hash(msg));
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // 55/56/63/64/65 bytes straddle the padding edge cases.
+  for (size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 127u, 128u}) {
+    std::string msg(len, 'x');
+    Sha256 ctx;
+    ctx.update(msg);
+    EXPECT_EQ(ctx.final_digest(), Sha256::hash(msg)) << "len=" << len;
+  }
+}
+
+TEST(Sha256, ResetReusesContext) {
+  Sha256 ctx;
+  ctx.update("garbage");
+  ctx.reset();
+  ctx.update("abc");
+  EXPECT_EQ(ctx.final_digest(), Sha256::hash("abc"));
+}
+
+TEST(Digest, HexRoundTrip) {
+  Digest d = Sha256::hash("roundtrip");
+  EXPECT_EQ(Digest::from_hex(d.to_hex()), d);
+}
+
+TEST(Digest, FromHexRejectsBadLength) {
+  EXPECT_THROW(Digest::from_hex("abcd"), std::invalid_argument);
+}
+
+TEST(Digest, HashPairOrderMatters) {
+  Digest a = Sha256::hash("a");
+  Digest b = Sha256::hash("b");
+  EXPECT_NE(Sha256::hash_pair(a, b), Sha256::hash_pair(b, a));
+}
+
+// --- KeyChain ---
+
+TEST(KeyChain, SignVerify) {
+  KeyChain kc;
+  PrivateKey key = kc.generate_key("/alice");
+  Bytes content = bytes_of("hello");
+  Signature sig = key.sign("/data/1", BytesView(content.data(), content.size()));
+  EXPECT_TRUE(kc.verify("/data/1", BytesView(content.data(), content.size()), sig));
+}
+
+TEST(KeyChain, TamperedContentFails) {
+  KeyChain kc;
+  PrivateKey key = kc.generate_key("/alice");
+  Bytes content = bytes_of("hello");
+  Signature sig = key.sign("/data/1", BytesView(content.data(), content.size()));
+  Bytes tampered = bytes_of("hellO");
+  EXPECT_FALSE(
+      kc.verify("/data/1", BytesView(tampered.data(), tampered.size()), sig));
+}
+
+TEST(KeyChain, WrongNameFails) {
+  KeyChain kc;
+  PrivateKey key = kc.generate_key("/alice");
+  Bytes content = bytes_of("hello");
+  Signature sig = key.sign("/data/1", BytesView(content.data(), content.size()));
+  EXPECT_FALSE(
+      kc.verify("/data/2", BytesView(content.data(), content.size()), sig));
+}
+
+TEST(KeyChain, UnknownSignerFails) {
+  KeyChain alice_kc, bob_kc;
+  PrivateKey key = alice_kc.generate_key("/alice");
+  Bytes content = bytes_of("x");
+  Signature sig = key.sign("/n", BytesView(content.data(), content.size()));
+  EXPECT_FALSE(bob_kc.verify("/n", BytesView(content.data(), content.size()), sig));
+  // After importing the key material, verification succeeds.
+  bob_kc.import_key(key);
+  EXPECT_TRUE(bob_kc.verify("/n", BytesView(content.data(), content.size()), sig));
+}
+
+TEST(KeyChain, TrustAnchors) {
+  KeyChain kc;
+  PrivateKey key = kc.generate_key("/alice");
+  EXPECT_FALSE(kc.is_trusted(key.id()));
+  kc.add_trust_anchor(key.id());
+  EXPECT_TRUE(kc.is_trusted(key.id()));
+}
+
+TEST(KeyChain, DeterministicKeyGeneration) {
+  KeyChain a, b;
+  EXPECT_EQ(a.generate_key("/x", 5).id(), b.generate_key("/x", 5).id());
+  EXPECT_NE(a.generate_key("/x", 5).id(), b.generate_key("/x", 6).id());
+  EXPECT_NE(a.generate_key("/x", 5).id(), b.generate_key("/y", 5).id());
+}
+
+TEST(KeyChain, NameLengthPrefixPreventsSplicing) {
+  // (name="ab", content="c...") must not collide with (name="a",
+  // content="bc...").
+  KeyChain kc;
+  PrivateKey key = kc.generate_key("/alice");
+  Bytes c1 = bytes_of("cpayload");
+  Bytes c2 = bytes_of("bcpayload");
+  Signature sig = key.sign("ab", BytesView(c1.data(), c1.size()));
+  EXPECT_FALSE(kc.verify("a", BytesView(c2.data(), c2.size()), sig));
+}
+
+// --- Merkle tree ---
+
+class MerkleSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleSizes, ProofsVerifyForEveryLeaf) {
+  size_t n = GetParam();
+  std::vector<Digest> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(Sha256::hash("leaf-" + std::to_string(i)));
+  }
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.leaf_count(), n);
+  for (size_t i = 0; i < n; ++i) {
+    MerkleProof proof = tree.prove(i);
+    EXPECT_TRUE(MerkleTree::verify(leaves[i], proof, tree.root()))
+        << "n=" << n << " leaf=" << i;
+  }
+}
+
+TEST_P(MerkleSizes, WrongLeafFailsVerification) {
+  size_t n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  std::vector<Digest> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(Sha256::hash("leaf-" + std::to_string(i)));
+  }
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.prove(0);
+  EXPECT_FALSE(MerkleTree::verify(leaves[1], proof, tree.root()));
+}
+
+TEST_P(MerkleSizes, ComputeRootMatchesTree) {
+  size_t n = GetParam();
+  std::vector<Digest> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(Sha256::hash("x" + std::to_string(i)));
+  }
+  EXPECT_EQ(MerkleTree::compute_root(leaves), MerkleTree(leaves).root());
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCounts, MerkleSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16,
+                                           17, 33, 100));
+
+TEST(Merkle, EmptyTreeDefined) {
+  MerkleTree tree{std::vector<Digest>{}};
+  EXPECT_EQ(tree.leaf_count(), 0u);
+  EXPECT_EQ(tree.root(), Sha256::hash(std::string_view{}));
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  std::vector<Digest> leaves;
+  for (int i = 0; i < 8; ++i) {
+    leaves.push_back(Sha256::hash("l" + std::to_string(i)));
+  }
+  Digest original = MerkleTree::compute_root(leaves);
+  for (int i = 0; i < 8; ++i) {
+    auto mutated = leaves;
+    mutated[i] = Sha256::hash("evil");
+    EXPECT_NE(MerkleTree::compute_root(mutated), original);
+  }
+}
+
+TEST(Merkle, ProveOutOfRangeThrows) {
+  MerkleTree tree(std::vector<Digest>{Sha256::hash("only")});
+  EXPECT_THROW(tree.prove(1), std::out_of_range);
+}
+
+TEST(Merkle, FromPayloads) {
+  std::vector<Bytes> payloads = {bytes_of("p0"), bytes_of("p1"), bytes_of("p2")};
+  MerkleTree tree = MerkleTree::from_payloads(payloads);
+  std::vector<Digest> leaves;
+  for (const auto& p : payloads) {
+    leaves.push_back(Sha256::hash(BytesView(p.data(), p.size())));
+  }
+  EXPECT_EQ(tree.root(), MerkleTree::compute_root(leaves));
+}
+
+TEST(Merkle, VerifyRejectsBadProofShape) {
+  std::vector<Digest> leaves = {Sha256::hash("a"), Sha256::hash("b")};
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.prove(0);
+  MerkleProof truncated = proof;
+  truncated.siblings.clear();
+  EXPECT_FALSE(MerkleTree::verify(leaves[0], truncated, tree.root()));
+  MerkleProof bad_count = proof;
+  bad_count.leaf_count = 0;
+  EXPECT_FALSE(MerkleTree::verify(leaves[0], bad_count, tree.root()));
+  MerkleProof bad_index = proof;
+  bad_index.leaf_index = 99;
+  EXPECT_FALSE(MerkleTree::verify(leaves[0], bad_index, tree.root()));
+}
+
+}  // namespace
+}  // namespace dapes::crypto

@@ -1,0 +1,116 @@
+// Tests for the experiment harness: metric aggregation and end-to-end
+// trials (DAPES, Bithoc, Ekta, real-world scenarios) at a tiny scale.
+#include <gtest/gtest.h>
+
+#include "harness/metrics.hpp"
+#include "harness/realworld.hpp"
+#include "harness/scenario.hpp"
+
+namespace dapes::harness {
+namespace {
+
+TEST(Percentile, InterpolatesAndBounds) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25);
+  EXPECT_DOUBLE_EQ(percentile(v, 90), 37.0);
+}
+
+TEST(Percentile, SingleValueAndEmpty) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 90), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 90), 0.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({30, 10, 20}, 50), 20);
+}
+
+ScenarioParams tiny_params() {
+  ScenarioParams p;
+  p.files = 2;
+  p.file_size_bytes = 4 * 1024;
+  p.mobile_downloaders = 6;
+  p.stationary_downloaders = 2;
+  p.pure_forwarders = 2;
+  p.dapes_intermediates = 2;
+  p.wifi_range_m = 80.0;
+  p.data_rate_bps = 11e6;
+  p.sim_limit_s = 600.0;
+  p.seed = 3;
+  return p;
+}
+
+TEST(Scenario, DapesTrialCompletes) {
+  TrialResult r = run_dapes_trial(tiny_params());
+  EXPECT_GT(r.completion_fraction, 0.9);
+  EXPECT_GT(r.transmissions, 0u);
+  EXPECT_LT(r.download_time_s, 600.0);
+  EXPECT_GT(r.tx_by_kind.count("ndn-interest"), 0u);
+}
+
+TEST(Scenario, DapesTrialDeterministicForSeed) {
+  TrialResult a = run_dapes_trial(tiny_params());
+  TrialResult b = run_dapes_trial(tiny_params());
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_DOUBLE_EQ(a.download_time_s, b.download_time_s);
+}
+
+TEST(Scenario, BithocTrialCompletes) {
+  TrialResult r = run_bithoc_trial(tiny_params());
+  EXPECT_GT(r.completion_fraction, 0.9);
+  EXPECT_GT(r.tx_by_kind.count("bithoc-hello"), 0u);
+  EXPECT_GT(r.tx_by_kind.count("dsdv-update"), 0u);
+}
+
+TEST(Scenario, EktaTrialCompletes) {
+  TrialResult r = run_ekta_trial(tiny_params());
+  EXPECT_GT(r.completion_fraction, 0.9);
+}
+
+TEST(Scenario, DapesBeatsBaselinesOnOverhead) {
+  // The paper's headline (Fig. 10b), checked at reduced scale.
+  TrialResult dapes = run_dapes_trial(tiny_params());
+  TrialResult bithoc = run_bithoc_trial(tiny_params());
+  EXPECT_LT(dapes.transmissions, bithoc.transmissions);
+}
+
+TEST(Scenario, MultiTrialSeedsVary) {
+  auto results = run_dapes_trials(tiny_params(), 2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NE(results[0].transmissions, results[1].transmissions);
+}
+
+TEST(RealWorld, AllScenariosComplete) {
+  for (int s = 1; s <= 3; ++s) {
+    RealWorldParams params;
+    params.files = 2;
+    params.file_size_bytes = 8 * 1024;
+    params.seed = 5;
+    RealWorldResult r = run_realworld_scenario(s, params);
+    EXPECT_DOUBLE_EQ(r.completion_fraction, 1.0) << "scenario " << s;
+    EXPECT_GT(r.transmissions, 0u);
+    EXPECT_GT(r.memory_overhead_mb, 0.0);
+    EXPECT_GT(r.system_calls, 0u);
+  }
+}
+
+TEST(RealWorld, CarrierSlowerThanMovingNodes) {
+  // Table I's qualitative claim at reduced scale.
+  RealWorldParams params;
+  params.files = 2;
+  params.file_size_bytes = 8 * 1024;
+  params.seed = 5;
+  RealWorldResult s1 = run_realworld_scenario(1, params);
+  RealWorldResult s3 = run_realworld_scenario(3, params);
+  EXPECT_GT(s1.download_time_s, s3.download_time_s);
+}
+
+TEST(RealWorld, RejectsBadScenario) {
+  RealWorldParams params;
+  EXPECT_THROW(run_realworld_scenario(0, params), std::invalid_argument);
+  EXPECT_THROW(run_realworld_scenario(4, params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dapes::harness

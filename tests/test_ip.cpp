@@ -1,0 +1,174 @@
+// Unit tests for the IP-lite substrate: packets, node demux, UDP, TCP.
+#include <gtest/gtest.h>
+
+#include "ip/node.hpp"
+#include "ip/packet.hpp"
+#include "ip/tcp.hpp"
+#include "ip/udp.hpp"
+#include "manet/dsdv.hpp"
+#include "sim/medium.hpp"
+#include "sim/mobility.hpp"
+
+namespace dapes::ip {
+namespace {
+
+using common::bytes_of;
+
+TEST(IpPacket, RoundTrip) {
+  Packet p;
+  p.src = 1;
+  p.dst = 9;
+  p.next_hop = 5;
+  p.proto = Proto::kTcp;
+  p.ttl = 7;
+  p.route = {1, 5, 9};
+  p.route_pos = 1;
+  p.payload = bytes_of("segment");
+  auto wire = p.encode();
+  auto decoded = Packet::decode(common::BytesView(wire.data(), wire.size()));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, p);
+}
+
+TEST(IpPacket, RejectsWrongMagic) {
+  Packet p;
+  p.payload = bytes_of("x");
+  auto wire = p.encode();
+  wire[0] = 0x06;  // NDN data magic, not IP
+  EXPECT_FALSE(Packet::decode(common::BytesView(wire.data(), wire.size()))
+                   .has_value());
+}
+
+TEST(IpPacket, RejectsTruncated) {
+  Packet p;
+  p.payload = bytes_of("hello");
+  auto wire = p.encode();
+  wire.pop_back();
+  EXPECT_FALSE(Packet::decode(common::BytesView(wire.data(), wire.size()))
+                   .has_value());
+}
+
+struct IpStackTest : ::testing::Test {
+  sim::Scheduler sched;
+  sim::StationaryMobility pos_a{{0, 0}};
+  sim::StationaryMobility pos_b{{30, 0}};
+  common::Rng rng{5};
+
+  sim::Medium::Params medium_params(double loss = 0.0) {
+    sim::Medium::Params p;
+    p.range_m = 50;
+    p.loss_rate = loss;
+    return p;
+  }
+};
+
+TEST_F(IpStackTest, AddressMapping) {
+  sim::Medium medium(sched, medium_params(), rng.fork());
+  Node a(sched, medium, &pos_a, rng.fork());
+  Node b(sched, medium, &pos_b, rng.fork());
+  EXPECT_NE(a.address(), b.address());
+  EXPECT_EQ(node_of(a.address()), a.node_id());
+}
+
+TEST_F(IpStackTest, UnicastFilteredByNextHop) {
+  sim::Medium medium(sched, medium_params(), rng.fork());
+  Node a(sched, medium, &pos_a, rng.fork());
+  Node b(sched, medium, &pos_b, rng.fork());
+  int received = 0;
+  b.register_handler(Proto::kUdp, [&](const Packet&) { ++received; });
+
+  Packet to_b;
+  to_b.dst = b.address();
+  to_b.next_hop = b.address();
+  to_b.proto = Proto::kUdp;
+  a.send_link(to_b, "test");
+
+  Packet to_other;
+  to_other.dst = b.address();
+  to_other.next_hop = 0xdead;  // not b: link-layer filtered
+  to_other.proto = Proto::kUdp;
+  a.send_link(to_other, "test");
+
+  sched.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(IpStackTest, UdpPortDemux) {
+  sim::Medium medium(sched, medium_params(), rng.fork());
+  Node a(sched, medium, &pos_a, rng.fork());
+  Node b(sched, medium, &pos_b, rng.fork());
+  a.set_routing(std::make_unique<manet::Dsdv>());
+  b.set_routing(std::make_unique<manet::Dsdv>());
+  UdpLite ua(a), ub(b);
+  std::string got;
+  ub.bind(7, [&](Address, uint16_t src_port, const common::Bytes& d) {
+    got.assign(d.begin(), d.end());
+    EXPECT_EQ(src_port, 3);
+  });
+  ub.bind(8, [&](Address, uint16_t, const common::Bytes&) { ADD_FAILURE(); });
+  // Wait for DSDV to learn the route, then send.
+  sched.run_until(common::TimePoint{20000000});
+  ua.send(b.address(), 3, 7, bytes_of("datagram"));
+  sched.run_until(common::TimePoint{21000000});
+  EXPECT_EQ(got, "datagram");
+}
+
+TEST_F(IpStackTest, TcpDeliversOrderedMessage) {
+  sim::Medium medium(sched, medium_params(), rng.fork());
+  Node a(sched, medium, &pos_a, rng.fork());
+  Node b(sched, medium, &pos_b, rng.fork());
+  a.set_routing(std::make_unique<manet::Dsdv>());
+  b.set_routing(std::make_unique<manet::Dsdv>());
+  TcpLite ta(a), tb(b);
+  std::vector<std::string> messages;
+  tb.set_receive_callback([&](Address, const common::Bytes& m) {
+    messages.emplace_back(m.begin(), m.end());
+  });
+  sched.run_until(common::TimePoint{20000000});
+  // A multi-segment message (mss 1200): 3000 bytes -> 3 segments.
+  std::string big(3000, 'M');
+  ta.send(b.address(), bytes_of(big));
+  ta.send(b.address(), bytes_of("second"));
+  sched.run_until(common::TimePoint{30000000});
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0], big);
+  EXPECT_EQ(messages[1], "second");
+}
+
+TEST_F(IpStackTest, TcpRetransmitsUnderLoss) {
+  sim::Medium medium(sched, medium_params(0.3), rng.fork());
+  Node a(sched, medium, &pos_a, rng.fork());
+  Node b(sched, medium, &pos_b, rng.fork());
+  a.set_routing(std::make_unique<manet::Dsdv>());
+  b.set_routing(std::make_unique<manet::Dsdv>());
+  TcpLite ta(a), tb(b);
+  int delivered = 0;
+  tb.set_receive_callback([&](Address, const common::Bytes&) { ++delivered; });
+  sched.run_until(common::TimePoint{40000000});
+  for (int i = 0; i < 5; ++i) {
+    ta.send(b.address(), bytes_of("msg-" + std::to_string(i)));
+  }
+  sched.run_until(common::TimePoint{120000000});
+  EXPECT_EQ(delivered, 5);
+  EXPECT_GT(ta.retransmissions(), 0u);
+}
+
+TEST_F(IpStackTest, TcpFailsWhenPeerUnreachable) {
+  sim::Medium medium(sched, medium_params(), rng.fork());
+  sim::StationaryMobility far{{5000, 0}};
+  Node a(sched, medium, &pos_a, rng.fork());
+  Node b(sched, medium, &far, rng.fork());
+  a.set_routing(std::make_unique<manet::Dsdv>());
+  b.set_routing(std::make_unique<manet::Dsdv>());
+  TcpLite ta(a), tb(b);
+  int failures = 0;
+  ta.set_failure_callback([&](Address) { ++failures; });
+  sched.run_until(common::TimePoint{5000000});
+  ta.send(b.address(), bytes_of("void"));
+  sched.run_until(common::TimePoint{200000000});
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(ta.failures(), 1u);
+}
+
+}  // namespace
+}  // namespace dapes::ip

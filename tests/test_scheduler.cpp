@@ -1,0 +1,131 @@
+// Unit tests for the discrete-event scheduler.
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hpp"
+
+namespace dapes::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule(Duration::milliseconds(30), [&] { order.push_back(3); });
+  sched.schedule(Duration::milliseconds(10), [&] { order.push_back(1); });
+  sched.schedule(Duration::milliseconds(20), [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, TiesFireInInsertionOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule(Duration::milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, NowAdvancesToEventTime) {
+  Scheduler sched;
+  TimePoint seen{};
+  sched.schedule(Duration::milliseconds(42), [&] { seen = sched.now(); });
+  sched.run();
+  EXPECT_EQ(seen.us, 42000);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  int fired = 0;
+  EventId id = sched.schedule(Duration::milliseconds(5), [&] { ++fired; });
+  EXPECT_TRUE(sched.cancel(id));
+  sched.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, CancelTwiceReturnsFalse) {
+  Scheduler sched;
+  EventId id = sched.schedule(Duration::milliseconds(5), [] {});
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.cancel(id));
+}
+
+TEST(Scheduler, CancelInvalidIdIsNoop) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.cancel(EventId{}));
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule(Duration::milliseconds(10), [&] { ++fired; });
+  sched.schedule(Duration::milliseconds(30), [&] { ++fired; });
+  sched.run_until(TimePoint{20000});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now().us, 20000);
+  sched.run_until(TimePoint{40000});
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, EventAtExactBoundaryRuns) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule(Duration::milliseconds(20), [&] { ++fired; });
+  sched.run_until(TimePoint{20000});
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule(Duration::milliseconds(1), [&] {
+    order.push_back(1);
+    sched.schedule(Duration::milliseconds(1), [&] { order.push_back(2); });
+  });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, NegativeDelayClampsToNow) {
+  Scheduler sched;
+  bool fired = false;
+  sched.schedule(Duration::milliseconds(-5), [&] { fired = true; });
+  sched.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sched.now().us, 0);
+}
+
+TEST(Scheduler, ExecutedCounts) {
+  Scheduler sched;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule(Duration::milliseconds(i), [] {});
+  }
+  sched.run();
+  EXPECT_EQ(sched.executed(), 5u);
+}
+
+TEST(Scheduler, PendingExcludesCancelled) {
+  Scheduler sched;
+  EventId a = sched.schedule(Duration::milliseconds(1), [] {});
+  sched.schedule(Duration::milliseconds(2), [] {});
+  EXPECT_EQ(sched.pending(), 2u);
+  sched.cancel(a);
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(Scheduler, SelfReschedulingChainBounded) {
+  Scheduler sched;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) {
+      sched.schedule(Duration::milliseconds(1), tick);
+    }
+  };
+  sched.schedule(Duration::milliseconds(1), tick);
+  sched.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sched.now().us, 100000);
+}
+
+}  // namespace
+}  // namespace dapes::sim
