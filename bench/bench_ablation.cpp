@@ -14,50 +14,41 @@ int main(int argc, char** argv) {
   auto args = bench::BenchArgs::parse(argc, argv);
   const double range = 60.0;
 
+  harness::SweepSpec spec;
+  spec.title = "Ablation: design-choice contributions (range 60 m)";
+  spec.base = args.scenario();
+  spec.axis = {"range_m", {range}, [](harness::ScenarioParams& p, double x) {
+                 p.wifi_range_m = x;
+               }};
+  spec.metrics = {harness::download_time_metric(),
+                  harness::transmissions_k_metric(),
+                  harness::completion_metric()};
+
+  using P = harness::ScenarioParams;
   struct Config {
     const char* label;
-    void (*apply)(harness::ScenarioParams&);
+    void (*apply)(P&);
   };
-  const std::vector<Config> configs = {
-      {"baseline", [](harness::ScenarioParams&) {}},
-      {"no-suppression",
-       [](harness::ScenarioParams& p) {
-         p.peer.tx_window = common::Duration::microseconds(1);
-       }},
-      {"window=1",
-       [](harness::ScenarioParams& p) { p.peer.interest_window = 1; }},
-      {"window=16",
-       [](harness::ScenarioParams& p) { p.peer.interest_window = 16; }},
-      {"bitmaps-first+noPEBA",
-       [](harness::ScenarioParams& p) {
-         p.peer.advertisement_mode = core::AdvertisementMode::kBitmapsFirst;
-         p.peer.bitmaps_before_data = 0;
-         p.peer.use_peba = false;
-       }},
-      {"history=1",
-       [](harness::ScenarioParams& p) {
-         p.peer.rpf = core::RpfKind::kEncounterBased;
-         p.peer.encounter_history = 1;
-         p.peer.random_start = false;
-       }},
-  };
-
-  std::printf("\n=== Ablation: design-choice contributions (range %.0f m) ===\n",
-              range);
-  std::printf("%-22s %16s %18s %14s\n", "configuration", "download(s)",
-              "transmissions(k)", "completion");
-  for (const auto& cfg : configs) {
-    harness::ScenarioParams p = args.scenario();
-    p.wifi_range_m = range;
-    cfg.apply(p);
-    auto trials = harness::run_dapes_trials(p, args.trials);
-    double time = harness::aggregate(trials, harness::metric_download_time);
-    double tx = harness::aggregate(trials, harness::metric_transmissions_k);
-    double done = 0;
-    for (const auto& t : trials) done += t.completion_fraction;
-    done /= static_cast<double>(trials.size());
-    std::printf("%-22s %16.1f %18.2f %13.1f%%\n", cfg.label, time, tx,
-                100.0 * done);
+  for (Config cfg :
+       {Config{"baseline", [](P&) {}},
+        {"no-suppression",
+         [](P& p) { p.peer.tx_window = common::Duration::microseconds(1); }},
+        {"window=1", [](P& p) { p.peer.interest_window = 1; }},
+        {"window=16", [](P& p) { p.peer.interest_window = 16; }},
+        {"bitmaps-first+noPEBA",
+         [](P& p) {
+           p.peer.advertisement_mode = core::AdvertisementMode::kBitmapsFirst;
+           p.peer.bitmaps_before_data = 0;
+           p.peer.use_peba = false;
+         }},
+        {"history=1",
+         [](P& p) {
+           p.peer.rpf = core::RpfKind::kEncounterBased;
+           p.peer.encounter_history = 1;
+           p.peer.random_start = false;
+         }}}) {
+    spec.series.push_back({cfg.label, harness::ProtocolNames::kDapes,
+                           [apply = cfg.apply](P& p) { apply(p); }});
   }
-  return 0;
+  return args.run(std::move(spec));
 }

@@ -1,24 +1,35 @@
 // Shared command-line handling for the figure/table benches.
 //
 // Every bench accepts:
-//   --trials N       trials per configuration (default 2; paper used 10)
-//   --quick          smaller workload + fewer configurations (CI-speed)
-//   --paper-scale    run at the paper's full collection size and data rate
-//   --seed S         base RNG seed
+//   --trials N           trials per configuration (default 2; paper used 10)
+//   --quick              smaller workload + fewer configurations (CI-speed)
+//   --paper-scale        run at the paper's full collection size and data rate
+//   --seed S             base RNG seed
+//   --jobs N             worker threads for the trial fan-out (default: all
+//                        hardware threads; results are identical for any N)
+//   --format text|csv|json   output format (default text)
+//   --out FILE           write output to FILE instead of stdout
+//
+// Flags also accept the --flag=value spelling. Unknown flags and malformed
+// values are rejected with exit code 2.
 //
 // The default configuration is the scaled setup described in
 // EXPERIMENTS.md: collection size and radio rate both divided by 8, which
 // preserves the airtime/contact-time ratio that shapes every figure.
 #pragma once
 
+#include <cerrno>
+#include <climits>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
-#include "harness/metrics.hpp"
 #include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
 
 namespace dapes::bench {
 
@@ -27,23 +38,86 @@ struct BenchArgs {
   bool quick = false;
   bool paper_scale = false;
   uint64_t seed = 1;
+  int jobs = 0;  // 0 = all hardware threads
+  harness::OutputFormat format = harness::OutputFormat::kText;
+  std::string out;  // empty = stdout
+
+  static void usage(const char* prog, std::FILE* to) {
+    std::fprintf(to,
+                 "usage: %s [--trials N] [--quick] [--paper-scale] [--seed S]\n"
+                 "       %*s [--jobs N] [--format text|csv|json] [--out FILE]\n",
+                 prog, static_cast<int>(std::strlen(prog)), "");
+  }
+
+  [[noreturn]] static void die(const char* prog, const std::string& message) {
+    std::fprintf(stderr, "%s: %s\n", prog, message.c_str());
+    usage(prog, stderr);
+    std::exit(2);
+  }
 
   static BenchArgs parse(int argc, char** argv) {
+    const char* prog = argc > 0 ? argv[0] : "bench";
     BenchArgs args;
-    for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
-        args.trials = std::atoi(argv[++i]);
-      } else if (std::strcmp(argv[i], "--quick") == 0) {
+
+    // Accepts --flag value and --flag=value; rejects anything unknown.
+    int i = 1;
+    auto value_of = [&](const char* flag,
+                        const char* inline_value) -> std::string {
+      if (inline_value != nullptr) return inline_value;
+      if (i + 1 >= argc) die(prog, std::string(flag) + " requires a value");
+      return argv[++i];
+    };
+    auto parse_int = [&](const char* flag, const std::string& v, long min_v) {
+      char* end = nullptr;
+      errno = 0;
+      long n = std::strtol(v.c_str(), &end, 10);
+      if (errno != 0 || end == v.c_str() || *end != '\0' || n < min_v ||
+          n > INT_MAX) {
+        die(prog, std::string(flag) + ": invalid value \"" + v + "\"");
+      }
+      return n;
+    };
+
+    for (; i < argc; ++i) {
+      std::string flag = argv[i];
+      const char* inline_value = nullptr;
+      size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        inline_value = argv[i] + eq + 1;
+        flag.resize(eq);
+      }
+
+      if (flag == "--trials") {
+        args.trials = static_cast<int>(
+            parse_int("--trials", value_of("--trials", inline_value), 1));
+      } else if (flag == "--quick") {
         args.quick = true;
-      } else if (std::strcmp(argv[i], "--paper-scale") == 0) {
+      } else if (flag == "--paper-scale") {
         args.paper_scale = true;
-      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-        args.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
-      } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::printf(
-            "usage: %s [--trials N] [--quick] [--paper-scale] [--seed S]\n",
-            argv[0]);
+      } else if (flag == "--seed") {
+        std::string v = value_of("--seed", inline_value);
+        char* end = nullptr;
+        errno = 0;
+        uint64_t s = std::strtoull(v.c_str(), &end, 10);
+        if (errno != 0 || end == v.c_str() || *end != '\0') {
+          die(prog, "--seed: invalid value \"" + v + "\"");
+        }
+        args.seed = s;
+      } else if (flag == "--jobs") {
+        args.jobs = static_cast<int>(
+            parse_int("--jobs", value_of("--jobs", inline_value), 1));
+      } else if (flag == "--format") {
+        std::string v = value_of("--format", inline_value);
+        auto f = harness::parse_output_format(v);
+        if (!f) die(prog, "--format: expected text|csv|json, got \"" + v + "\"");
+        args.format = *f;
+      } else if (flag == "--out") {
+        args.out = value_of("--out", inline_value);
+      } else if (flag == "--help") {
+        usage(prog, stdout);
         std::exit(0);
+      } else {
+        die(prog, "unknown flag \"" + std::string(argv[i]) + "\"");
       }
     }
     return args;
@@ -68,6 +142,40 @@ struct BenchArgs {
   std::vector<double> ranges() const {
     if (quick) return {40.0, 80.0};
     return {20.0, 40.0, 60.0, 80.0, 100.0};
+  }
+
+  /// The usual x axis: WiFi range.
+  harness::SweepAxis range_axis() const {
+    harness::SweepAxis axis;
+    axis.values = ranges();
+    return axis;
+  }
+
+  /// Run the sweep (trials and parallelism from the flags) and emit it to
+  /// --out in --format. The bench's exit code.
+  int run(harness::SweepSpec spec) const {
+    spec.trials = trials;
+    // Open the sink first: a bad --out path should fail before the sweep
+    // burns minutes of trials.
+    std::FILE* f = stdout;
+    if (!out.empty()) {
+      f = std::fopen(out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open --out file %s\n", out.c_str());
+        return 1;
+      }
+    }
+    int code = 0;
+    try {
+      harness::SweepResult result =
+          harness::run_sweep(spec, harness::TrialRunner(jobs));
+      harness::write_sweep(result, format, f);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sweep failed: %s\n", e.what());
+      code = 1;
+    }
+    if (f != stdout) std::fclose(f);
+    return code;
   }
 };
 

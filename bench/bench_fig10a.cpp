@@ -9,33 +9,20 @@ using namespace dapes;
 
 int main(int argc, char** argv) {
   auto args = bench::BenchArgs::parse(argc, argv);
-  std::vector<double> xs = args.ranges();
 
-  harness::Series dapes_s{"DAPES", {}};
-  harness::Series bithoc_s{"Bithoc", {}};
-  harness::Series ekta_s{"Ekta", {}};
-
-  for (double range : xs) {
-    harness::ScenarioParams p = args.scenario();
-    p.wifi_range_m = range;
-    // The comparison runs at the full 802.11b rate: baseline control
-    // traffic (routing, flooding, DHT) does not shrink with the scaled
-    // collection, so a scaled channel would starve the IP baselines
-    // unfairly (see EXPERIMENTS.md).
-    if (!args.paper_scale) p.data_rate_bps = 11e6;
-    dapes_s.y.push_back(harness::aggregate(
-        harness::run_dapes_trials(p, args.trials),
-        harness::metric_download_time));
-    bithoc_s.y.push_back(harness::aggregate(
-        harness::run_bithoc_trials(p, args.trials),
-        harness::metric_download_time));
-    ekta_s.y.push_back(harness::aggregate(
-        harness::run_ekta_trials(p, args.trials),
-        harness::metric_download_time));
-  }
-
-  harness::print_figure("Fig. 10a: download time, DAPES vs IP baselines",
-                        "range_m", xs, {dapes_s, bithoc_s, ekta_s},
-                        "seconds (p90 over trials)");
-  return 0;
+  harness::SweepSpec spec;
+  spec.title = "Fig. 10a: download time, DAPES vs IP baselines";
+  spec.y_unit = "seconds (p90 over trials)";
+  spec.base = args.scenario();
+  // The comparison runs at the full 802.11b rate: baseline control traffic
+  // (routing, flooding, DHT) does not shrink with the scaled collection,
+  // so a scaled channel would starve the IP baselines unfairly (see
+  // EXPERIMENTS.md).
+  if (!args.paper_scale) spec.base.data_rate_bps = 11e6;
+  spec.axis = args.range_axis();
+  spec.metrics = {harness::download_time_metric()};
+  spec.series = {{"DAPES", harness::ProtocolNames::kDapes, nullptr},
+                 {"Bithoc", harness::ProtocolNames::kBithoc, nullptr},
+                 {"Ekta", harness::ProtocolNames::kEkta, nullptr}};
+  return args.run(std::move(spec));
 }

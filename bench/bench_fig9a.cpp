@@ -13,38 +13,30 @@ using namespace dapes;
 int main(int argc, char** argv) {
   auto args = bench::BenchArgs::parse(argc, argv);
 
+  harness::SweepSpec spec;
+  spec.title = "Fig. 9a: download time vs WiFi range (RPF strategies)";
+  spec.y_unit = "seconds (p90 over trials)";
+  spec.base = args.scenario();
+  spec.axis = args.range_axis();
+  spec.metrics = {harness::download_time_metric()};
+
   struct Config {
     const char* label;
     core::RpfKind rpf;
     bool random_start;
   };
-  const std::vector<Config> configs = {
-      {"same+encounter", core::RpfKind::kEncounterBased, false},
-      {"random+encounter", core::RpfKind::kEncounterBased, true},
-      {"same+local", core::RpfKind::kLocalNeighborhood, false},
-      {"random+local", core::RpfKind::kLocalNeighborhood, true},
-  };
-
-  std::vector<double> xs = args.ranges();
-  std::vector<harness::Series> series;
-  for (const auto& cfg : configs) {
-    harness::Series s;
-    s.label = cfg.label;
-    for (double range : xs) {
-      harness::ScenarioParams p = args.scenario();
-      p.wifi_range_m = range;
-      p.peer.rpf = cfg.rpf;
-      p.peer.random_start = cfg.random_start;
-      p.peer.advertisement_mode = core::AdvertisementMode::kBitmapsFirst;
-      p.peer.bitmaps_before_data = 0;  // all bitmaps, per the figure setup
-      auto trials = harness::run_dapes_trials(p, args.trials);
-      s.y.push_back(harness::aggregate(trials, harness::metric_download_time));
-    }
-    series.push_back(std::move(s));
+  for (Config cfg : {Config{"same+encounter", core::RpfKind::kEncounterBased, false},
+                     {"random+encounter", core::RpfKind::kEncounterBased, true},
+                     {"same+local", core::RpfKind::kLocalNeighborhood, false},
+                     {"random+local", core::RpfKind::kLocalNeighborhood, true}}) {
+    spec.series.push_back(
+        {cfg.label, harness::ProtocolNames::kDapes,
+         [cfg](harness::ScenarioParams& p) {
+           p.peer.rpf = cfg.rpf;
+           p.peer.random_start = cfg.random_start;
+           p.peer.advertisement_mode = core::AdvertisementMode::kBitmapsFirst;
+           p.peer.bitmaps_before_data = 0;  // all bitmaps, per the figure
+         }});
   }
-
-  harness::print_figure(
-      "Fig. 9a: download time vs WiFi range (RPF strategies)",
-      "range_m", xs, series, "seconds (p90 over trials)");
-  return 0;
+  return args.run(std::move(spec));
 }

@@ -10,37 +10,28 @@ using namespace dapes;
 int main(int argc, char** argv) {
   auto args = bench::BenchArgs::parse(argc, argv);
 
+  harness::SweepSpec spec;
+  spec.title = "Fig. 9b: transmissions vs WiFi range (RPF x PEBA)";
+  spec.y_unit = "thousands of frames (p90 over trials)";
+  spec.base = args.scenario();
+  spec.axis = args.range_axis();
+  spec.metrics = {harness::transmissions_k_metric()};
+
   struct Config {
     const char* label;
     core::RpfKind rpf;
     bool peba;
   };
-  const std::vector<Config> configs = {
-      {"encounter(no-PEBA)", core::RpfKind::kEncounterBased, false},
-      {"local(no-PEBA)", core::RpfKind::kLocalNeighborhood, false},
-      {"encounter(PEBA)", core::RpfKind::kEncounterBased, true},
-      {"local(PEBA)", core::RpfKind::kLocalNeighborhood, true},
-  };
-
-  std::vector<double> xs = args.ranges();
-  std::vector<harness::Series> series;
-  for (const auto& cfg : configs) {
-    harness::Series s;
-    s.label = cfg.label;
-    for (double range : xs) {
-      harness::ScenarioParams p = args.scenario();
-      p.wifi_range_m = range;
-      p.peer.rpf = cfg.rpf;
-      p.peer.use_peba = cfg.peba;
-      auto trials = harness::run_dapes_trials(p, args.trials);
-      s.y.push_back(
-          harness::aggregate(trials, harness::metric_transmissions_k));
-    }
-    series.push_back(std::move(s));
+  for (Config cfg :
+       {Config{"encounter(no-PEBA)", core::RpfKind::kEncounterBased, false},
+        {"local(no-PEBA)", core::RpfKind::kLocalNeighborhood, false},
+        {"encounter(PEBA)", core::RpfKind::kEncounterBased, true},
+        {"local(PEBA)", core::RpfKind::kLocalNeighborhood, true}}) {
+    spec.series.push_back({cfg.label, harness::ProtocolNames::kDapes,
+                           [cfg](harness::ScenarioParams& p) {
+                             p.peer.rpf = cfg.rpf;
+                             p.peer.use_peba = cfg.peba;
+                           }});
   }
-
-  harness::print_figure(
-      "Fig. 9b: transmissions vs WiFi range (RPF x PEBA)",
-      "range_m", xs, series, "thousands of frames (p90 over trials)");
-  return 0;
+  return args.run(std::move(spec));
 }

@@ -15,29 +15,22 @@ using namespace dapes;
 int main(int argc, char** argv) {
   auto args = bench::BenchArgs::parse(argc, argv);
 
-  const std::vector<std::pair<const char*, int>> configs = {
-      {"1 bitmap", 1}, {"2 bitmaps", 2}, {"3 bitmaps", 3},
-      {"4 bitmaps", 4}, {"all bitmaps", 0},
-  };
+  harness::SweepSpec spec;
+  spec.title = "Fig. 9d: download time, bitmap exchanges interleaved with data";
+  spec.y_unit = "seconds (p90 over trials)";
+  spec.base = args.scenario();
+  spec.axis = args.range_axis();
+  spec.metrics = {harness::download_time_metric()};
 
-  std::vector<double> xs = args.ranges();
-  std::vector<harness::Series> series;
-  for (const auto& [label, b] : configs) {
-    harness::Series s;
-    s.label = label;
-    for (double range : xs) {
-      harness::ScenarioParams p = args.scenario();
-      p.wifi_range_m = range;
-      p.peer.advertisement_mode = core::AdvertisementMode::kInterleaved;
-      p.peer.bitmaps_before_data = b;
-      auto trials = harness::run_dapes_trials(p, args.trials);
-      s.y.push_back(harness::aggregate(trials, harness::metric_download_time));
-    }
-    series.push_back(std::move(s));
+  for (auto [label, b] : std::initializer_list<std::pair<const char*, int>>{
+           {"1 bitmap", 1}, {"2 bitmaps", 2}, {"3 bitmaps", 3},
+           {"4 bitmaps", 4}, {"all bitmaps", 0}}) {
+    spec.series.push_back(
+        {label, harness::ProtocolNames::kDapes,
+         [b = b](harness::ScenarioParams& p) {
+           p.peer.advertisement_mode = core::AdvertisementMode::kInterleaved;
+           p.peer.bitmaps_before_data = b;
+         }});
   }
-
-  harness::print_figure(
-      "Fig. 9d: download time, bitmap exchanges interleaved with data",
-      "range_m", xs, series, "seconds (p90 over trials)");
-  return 0;
+  return args.run(std::move(spec));
 }

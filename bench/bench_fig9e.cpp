@@ -10,27 +10,23 @@ using namespace dapes;
 int main(int argc, char** argv) {
   auto args = bench::BenchArgs::parse(argc, argv);
 
+  harness::SweepSpec spec;
+  spec.title =
+      "Fig. 9e: download time, varying number of files (1 MB each, scaled)";
+  spec.y_unit = "seconds (p90 over trials)";
+  spec.base = args.scenario();
+  spec.axis = args.range_axis();
+  spec.metrics = {harness::download_time_metric()};
+
   std::vector<size_t> file_counts = {10, 30, 50, 70};
   if (args.quick) file_counts = {10, 30};
-
-  std::vector<double> xs = args.ranges();
-  std::vector<harness::Series> series;
   for (size_t files : file_counts) {
-    harness::Series s;
-    s.label = "files=" + std::to_string(files);
-    for (double range : xs) {
-      harness::ScenarioParams p = args.scenario();
-      p.wifi_range_m = range;
-      p.files = files;
-      p.sim_limit_s = p.sim_limit_s * (1.0 + static_cast<double>(files) / 20.0);
-      auto trials = harness::run_dapes_trials(p, args.trials);
-      s.y.push_back(harness::aggregate(trials, harness::metric_download_time));
-    }
-    series.push_back(std::move(s));
+    spec.series.push_back({"files=" + std::to_string(files),
+                           harness::ProtocolNames::kDapes,
+                           [files](harness::ScenarioParams& p) {
+                             p.files = files;
+                             p.sim_limit_s *= 1.0 + static_cast<double>(files) / 20.0;
+                           }});
   }
-
-  harness::print_figure(
-      "Fig. 9e: download time, varying number of files (1 MB each, scaled)",
-      "range_m", xs, series, "seconds (p90 over trials)");
-  return 0;
+  return args.run(std::move(spec));
 }

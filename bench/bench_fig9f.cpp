@@ -10,27 +10,22 @@ using namespace dapes;
 int main(int argc, char** argv) {
   auto args = bench::BenchArgs::parse(argc, argv);
 
+  harness::SweepSpec spec;
+  spec.title = "Fig. 9f: download time, varying file size (10 files, scaled)";
+  spec.y_unit = "seconds (p90 over trials)";
+  spec.base = args.scenario();
+  spec.axis = args.range_axis();
+  spec.metrics = {harness::download_time_metric()};
+
   std::vector<size_t> sizes_mb = {1, 5, 10, 15};
   if (args.quick) sizes_mb = {1, 5};
-
-  std::vector<double> xs = args.ranges();
-  std::vector<harness::Series> series;
   for (size_t mb : sizes_mb) {
-    harness::Series s;
-    s.label = "file=" + std::to_string(mb) + "MB";
-    for (double range : xs) {
-      harness::ScenarioParams p = args.scenario();
-      p.wifi_range_m = range;
-      p.file_size_bytes = mb * 1024 * 1024 / harness::kDefaultScale;
-      p.sim_limit_s = p.sim_limit_s * (1.0 + static_cast<double>(mb) / 4.0);
-      auto trials = harness::run_dapes_trials(p, args.trials);
-      s.y.push_back(harness::aggregate(trials, harness::metric_download_time));
-    }
-    series.push_back(std::move(s));
+    spec.series.push_back(
+        {"file=" + std::to_string(mb) + "MB", harness::ProtocolNames::kDapes,
+         [mb](harness::ScenarioParams& p) {
+           p.file_size_bytes = mb * 1024 * 1024 / harness::kDefaultScale;
+           p.sim_limit_s *= 1.0 + static_cast<double>(mb) / 4.0;
+         }});
   }
-
-  harness::print_figure(
-      "Fig. 9f: download time, varying file size (10 files, scaled)",
-      "range_m", xs, series, "seconds (p90 over trials)");
-  return 0;
+  return args.run(std::move(spec));
 }

@@ -10,36 +10,27 @@ using namespace dapes;
 int main(int argc, char** argv) {
   auto args = bench::BenchArgs::parse(argc, argv);
 
+  harness::SweepSpec spec;
+  spec.title = "Fig. 9g: download time, varying forwarding probability";
+  spec.y_unit = "seconds (p90 over trials)";
+  spec.base = args.scenario();
+  spec.axis = args.range_axis();
+  spec.metrics = {harness::download_time_metric()};
+
   struct Config {
     const char* label;
     bool multihop;
     double p;
   };
-  const std::vector<Config> configs = {
-      {"single-hop", false, 0.0},
-      {"multi-hop p=20%", true, 0.2},
-      {"multi-hop p=40%", true, 0.4},
-      {"multi-hop p=60%", true, 0.6},
-  };
-
-  std::vector<double> xs = args.ranges();
-  std::vector<harness::Series> series;
-  for (const auto& cfg : configs) {
-    harness::Series s;
-    s.label = cfg.label;
-    for (double range : xs) {
-      harness::ScenarioParams p = args.scenario();
-      p.wifi_range_m = range;
-      p.peer.multihop = cfg.multihop;
-      p.peer.forward_probability = cfg.p;
-      auto trials = harness::run_dapes_trials(p, args.trials);
-      s.y.push_back(harness::aggregate(trials, harness::metric_download_time));
-    }
-    series.push_back(std::move(s));
+  for (Config cfg : {Config{"single-hop", false, 0.0},
+                     {"multi-hop p=20%", true, 0.2},
+                     {"multi-hop p=40%", true, 0.4},
+                     {"multi-hop p=60%", true, 0.6}}) {
+    spec.series.push_back({cfg.label, harness::ProtocolNames::kDapes,
+                           [cfg](harness::ScenarioParams& p) {
+                             p.peer.multihop = cfg.multihop;
+                             p.peer.forward_probability = cfg.p;
+                           }});
   }
-
-  harness::print_figure(
-      "Fig. 9g: download time, varying forwarding probability",
-      "range_m", xs, series, "seconds (p90 over trials)");
-  return 0;
+  return args.run(std::move(spec));
 }

@@ -1,53 +1,36 @@
 // Table I — real-world feasibility study: the three Fig. 8 scenarios
 // (carrier / repository / moving nodes) with download time, transmission
-// count, and modeled system-load metrics.
+// count, and modeled system-load metrics, each aggregated at the median
+// across trials.
 //
 // Paper shape to verify: scenario 1 is slowest with the most
 // transmissions (two-party contacts only); scenario 2 benefits from the
 // repo serving A and B simultaneously; scenario 3 is fastest with the
 // fewest transmissions but the highest memory overhead (multi-hop
 // knowledge state).
-#include <cstdio>
-
 #include "bench_common.hpp"
-#include "harness/realworld.hpp"
 
 using namespace dapes;
 
 int main(int argc, char** argv) {
   auto args = bench::BenchArgs::parse(argc, argv);
 
-  std::printf("\n=== Table I: real-world feasibility study ===\n");
-  std::printf("%-12s %14s %16s %14s %14s %16s %14s %12s\n", "Scenario",
-              "Download(s)", "Transmissions", "Memory(MB)", "Knowledge(KB)",
-              "CtxSwitches", "SysCalls", "PageFaults");
-
-  for (int scenario = 1; scenario <= 3; ++scenario) {
-    // Median-style aggregation: run `trials` and report the middle run by
-    // download time.
-    std::vector<harness::RealWorldResult> runs;
-    for (int t = 0; t < args.trials; ++t) {
-      harness::RealWorldParams params;
-      params.seed = args.seed + static_cast<uint64_t>(t) * 7919;
-      if (args.quick) params.file_size_bytes = 32 * 1024;
-      if (args.paper_scale) {
-        params.file_size_bytes = 1024 * 1024;
-        params.data_rate_bps = 11e6;
-      }
-      runs.push_back(harness::run_realworld_scenario(scenario, params));
-    }
-    std::sort(runs.begin(), runs.end(),
-              [](const auto& a, const auto& b) {
-                return a.download_time_s < b.download_time_s;
-              });
-    const auto& r = runs[runs.size() / 2];
-    std::printf("%-12s %14.1f %16llu %14.2f %14.1f %16llu %14llu %12llu\n",
-                r.scenario.c_str(), r.download_time_s,
-                (unsigned long long)r.transmissions, r.memory_overhead_mb,
-                r.knowledge_kb,
-                (unsigned long long)r.context_switches,
-                (unsigned long long)r.system_calls,
-                (unsigned long long)r.page_faults);
-  }
-  return 0;
+  harness::SweepSpec spec;
+  spec.title = "Table I: real-world feasibility study";
+  spec.base = args.scenario();
+  spec.base.wifi_range_m = 50.0;   // paper: MacBook WiFi range ~50 m
+  spec.base.sim_limit_s = 1500.0;  // the Fig. 8 scripts end by t=1500 s
+  spec.axis = {"x", {0.0}, [](harness::ScenarioParams&, double) {}};
+  spec.series = {
+      {"carrier", harness::ProtocolNames::kRealWorldCarrier, nullptr},
+      {"repository", harness::ProtocolNames::kRealWorldRepository, nullptr},
+      {"moving", harness::ProtocolNames::kRealWorldMoving, nullptr}};
+  spec.metrics = {harness::download_time_metric(50.0),
+                  harness::transmissions_k_metric(50.0),
+                  harness::memory_mb_metric(50.0),
+                  harness::knowledge_kb_metric(50.0),
+                  harness::context_switches_metric(50.0),
+                  harness::system_calls_metric(50.0),
+                  harness::page_faults_metric(50.0)};
+  return args.run(std::move(spec));
 }

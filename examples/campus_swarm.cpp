@@ -1,22 +1,41 @@
 // Campus swarm: the paper's Fig. 7 simulation topology driven through the
-// experiment harness API — 4 stationary repositories and 40 mobile nodes
-// in a 300 m x 300 m field, 24 of them downloading one collection, with
-// pure forwarders and DAPES intermediates relaying across hops.
+// experiment engine — 4 stationary repositories and 40 mobile nodes in a
+// 300 m x 300 m field, 24 of them downloading one collection, with pure
+// forwarders and DAPES intermediates relaying across hops.
 //
-// Demonstrates the harness as a library: configure a ScenarioParams,
-// run trials, inspect TrialResult.
+// Demonstrates the engine as a library: pick any protocol driver from the
+// registry by name, fan trials out over a TrialRunner, inspect
+// TrialResult.
 //
-// Run:  ./campus_swarm [wifi_range_m]
+// Run:  ./campus_swarm [driver] [wifi_range_m] [trials]
+//       ./campus_swarm bithoc 80 4
 #include <cstdio>
 #include <cstdlib>
 
+#include "harness/driver.hpp"
 #include "harness/metrics.hpp"
-#include "harness/scenario.hpp"
+#include "harness/trial_runner.hpp"
 
 using namespace dapes;
 
 int main(int argc, char** argv) {
-  double range = argc > 1 ? std::atof(argv[1]) : 60.0;
+  const std::string driver_name =
+      argc > 1 ? argv[1] : harness::ProtocolNames::kDapes;
+  double range = argc > 2 ? std::atof(argv[2]) : 60.0;
+  int trials = argc > 3 ? std::atoi(argv[3]) : 1;
+
+  auto& registry = harness::ProtocolDriverRegistry::instance();
+  const harness::ProtocolDriver* driver = registry.find(driver_name);
+  if (driver == nullptr || trials < 1) {
+    std::fprintf(stderr, "usage: %s [driver] [wifi_range_m] [trials]\n",
+                 argv[0]);
+    std::fprintf(stderr, "registered drivers:");
+    for (const auto& name : registry.names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
 
   harness::ScenarioParams params;
   params.wifi_range_m = range;
@@ -29,23 +48,30 @@ int main(int argc, char** argv) {
               params.stationary_downloaders, params.mobile_downloaders,
               params.pure_forwarders, params.dapes_intermediates,
               params.wifi_range_m);
+  std::printf("driver: %s, %d trial(s) across %d thread(s)\n",
+              driver->name().c_str(), trials, harness::TrialRunner().jobs());
 
-  harness::TrialResult r = harness::run_dapes_trial(params);
+  auto results = harness::TrialRunner().run(*driver, params, trials);
 
-  std::printf("\nresults:\n");
-  std::printf("  mean download time : %8.1f s\n", r.download_time_s);
+  std::vector<double> times;
+  for (const auto& r : results) times.push_back(r.download_time_s);
+  const harness::TrialResult& r = results.front();
+
+  std::printf("\nresults (counters from trial 0 of %zu):\n", results.size());
+  std::printf("  p90 download time  : %8.1f s\n",
+              harness::percentile(times, 90.0));
   std::printf("  completion         : %8.1f %%\n",
               100.0 * r.completion_fraction);
   std::printf("  transmissions      : %8llu frames\n",
               static_cast<unsigned long long>(r.transmissions));
   std::printf("  collided frames    : %8llu\n",
               static_cast<unsigned long long>(r.collided_frames));
-  std::printf("  forwarding accuracy: %8.1f %% of relayed Interests "
-              "brought data back\n",
-              100.0 * r.forward_accuracy);
-  std::printf("  overhead breakdown :\n");
+  std::printf("  peak state         : %8.1f KB\n",
+              static_cast<double>(r.peak_state_bytes) / 1024.0);
+  std::printf("  scheduler events   : %8llu\n",
+              static_cast<unsigned long long>(r.events_executed));
   for (const auto& [kind, count] : r.tx_by_kind) {
-    std::printf("    %-14s %8llu\n", kind.c_str(),
+    std::printf("  tx[%-14s] : %8llu\n", kind.c_str(),
                 static_cast<unsigned long long>(count));
   }
   return r.completion_fraction > 0.9 ? 0 : 1;

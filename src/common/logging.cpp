@@ -1,12 +1,13 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace dapes::common {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,13 +23,15 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void log_line(LogLevel level, const std::string& component,
               const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
                message.c_str());
 }

@@ -2,8 +2,9 @@
 //
 // Simulation runs produce a lot of events; logging defaults to `kWarn` so
 // benches stay quiet, while tests and examples can dial verbosity up to
-// trace protocol exchanges. Not thread-safe by design — the simulator is
-// single-threaded and deterministic.
+// trace protocol exchanges. The level is atomic and each line is a single
+// fprintf, so concurrent trials (TrialRunner) may interleave lines but
+// never corrupt them; set the level before starting parallel runs.
 #pragma once
 
 #include <sstream>

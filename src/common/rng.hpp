@@ -13,6 +13,14 @@
 
 namespace dapes::common {
 
+/// Derive the seed for trial `index` of a multi-trial experiment from the
+/// experiment's base seed. SplitMix64-style finalizer: adjacent indices give
+/// uncorrelated streams, and the result depends only on (base_seed, index) —
+/// not on execution order or thread placement — so a trial can be replayed
+/// in isolation and parallel runs are bit-identical to serial ones (see
+/// EXPERIMENTS.md "Seed derivation").
+uint64_t derive_seed(uint64_t base_seed, uint64_t index);
+
 /// xoshiro256** by Blackman & Vigna, seeded via SplitMix64.
 /// Small, fast, and good enough statistical quality for simulation.
 class Rng {

@@ -1,18 +1,15 @@
-// Fig. 7 topology trials for the IP baselines (Bithoc, Ekta).
+// Fig. 7 topology drivers for the IP baselines (Bithoc, Ekta).
 //
 // Mirrors run_dapes_trial: same field, same mobility, same stationary/
-// mobile downloader split, same collection workload. The 20 non-
-// downloading nodes "forward received packets based on their routing
-// tables" (paper §VI-B): they run the respective routing protocol (and
-// relay Bithoc's scoped HELLO floods) without the application.
-#include <algorithm>
-
+// mobile downloader split, same collection workload (all built by the
+// shared Topology). The 20 non-downloading nodes "forward received packets
+// based on their routing tables" (paper §VI-B): they run the respective
+// routing protocol (and relay Bithoc's scoped HELLO floods) without the
+// application.
 #include "baselines/bithoc.hpp"
 #include "baselines/ekta.hpp"
 #include "harness/scenario.hpp"
-#include "sim/medium.hpp"
-#include "sim/mobility.hpp"
-#include "sim/scheduler.hpp"
+#include "harness/topology.hpp"
 
 namespace dapes::harness {
 
@@ -21,128 +18,70 @@ namespace {
 using baselines::BithocPeer;
 using baselines::EktaPeer;
 using baselines::HelloRelay;
-using core::Collection;
-using sim::Duration;
 using sim::TimePoint;
-using sim::Vec2;
 
-struct Topology {
-  common::Rng rng;
-  sim::Scheduler sched;
-  std::unique_ptr<sim::Medium> medium;
-  std::shared_ptr<Collection> collection;
-  std::vector<std::unique_ptr<sim::MobilityModel>> mobility;
-
-  explicit Topology(const ScenarioParams& params) : rng(params.seed) {
-    sim::Medium::Params mp;
-    mp.range_m = params.wifi_range_m;
-    mp.data_rate_bps = params.data_rate_bps;
-    mp.loss_rate = params.loss_rate;
-    medium = std::make_unique<sim::Medium>(sched, mp, rng.fork());
-
-    crypto::KeyChain keys;
-    crypto::PrivateKey key = keys.generate_key("/producer", params.seed);
-    std::vector<Collection::SyntheticFileInput> files;
-    for (size_t i = 0; i < params.files; ++i) {
-      files.push_back({"file-" + std::to_string(i), params.file_size_bytes});
+// Places the downloaders for either baseline; `make_peer` builds the
+// protocol-specific peer from (mobility, is_seed). Bithoc peers start as
+// they are placed; Ekta peers start after membership bootstrap, so event
+// insertion order (the scheduler's same-timestamp tie-break) matches the
+// per-protocol setups this replaces.
+template <typename PeerT, typename MakePeer>
+std::vector<std::unique_ptr<PeerT>> place_downloaders(
+    const ScenarioParams& params, Topology& topo, CompletionTracker& tracker,
+    MakePeer make_peer, bool start_each) {
+  std::vector<std::unique_ptr<PeerT>> peers;
+  const int total_downloaders =
+      params.stationary_downloaders + params.mobile_downloaders;
+  for (int i = 0; i < total_downloaders; ++i) {
+    sim::MobilityModel* mob = i < params.stationary_downloaders
+                                  ? topo.stationary(params, i)
+                                  : topo.mobile(params);
+    bool is_seed = i == params.stationary_downloaders;  // first mobile node
+    std::unique_ptr<PeerT> peer = make_peer(mob, is_seed);
+    if (!is_seed) {
+      peer->set_completion_callback([&tracker](TimePoint t) {
+        tracker.record(t.to_seconds());
+      });
     }
-    collection = Collection::create_synthetic(
-        ndn::Name("/collection-1533783192"), std::move(files),
-        params.packet_size, params.metadata_format, key);
+    if (start_each) peer->start();
+    peers.push_back(std::move(peer));
   }
+  return peers;
+}
 
-  sim::MobilityModel* mobile(const ScenarioParams& params) {
-    sim::RandomDirectionMobility::Params mp;
-    mp.field = sim::Field{params.field_m, params.field_m};
-    Vec2 start{rng.uniform(0.0, params.field_m),
-               rng.uniform(0.0, params.field_m)};
-    mobility.push_back(std::make_unique<sim::RandomDirectionMobility>(
-        start, mp, rng.fork()));
-    return mobility.back().get();
-  }
-
-  sim::MobilityModel* stationary(const ScenarioParams& params, int index) {
-    const double inset = params.field_m / 4.0;
-    const Vec2 positions[4] = {
-        {inset, inset},
-        {params.field_m - inset, inset},
-        {inset, params.field_m - inset},
-        {params.field_m - inset, params.field_m - inset}};
-    mobility.push_back(
-        std::make_unique<sim::StationaryMobility>(positions[index % 4]));
-    return mobility.back().get();
-  }
-};
-
-template <typename Peers, typename Forwarders, typename StateOf>
-TrialResult run_to_completion(const ScenarioParams& params, Topology& topo,
-                              Peers& peers, Forwarders& forwarders,
-                              StateOf state_of, int expected_completions,
-                              int* completed,
-                              std::vector<double>* completion_times) {
-  TrialResult result;
-  const TimePoint limit{static_cast<int64_t>(params.sim_limit_s * 1e6)};
-  const Duration chunk = Duration::seconds(5.0);
-  TimePoint cursor = TimePoint::zero();
-  while (cursor < limit && *completed < expected_completions) {
-    cursor = std::min(TimePoint{cursor.us + chunk.us}, limit);
-    topo.sched.run_until(cursor);
-    size_t total_state = 0;
-    for (const auto& p : peers) total_state += state_of(*p);
-    (void)forwarders;
-    result.peak_state_bytes = std::max(result.peak_state_bytes, total_state);
-    result.total_state_bytes = total_state;
-  }
-
-  double sum = 0.0;
-  for (double t : *completion_times) sum += t;
-  sum += static_cast<double>(expected_completions - *completed) *
-         params.sim_limit_s;
-  result.download_time_s = sum / std::max(1, expected_completions);
-  result.completion_fraction = static_cast<double>(*completed) /
-                               std::max(1, expected_completions);
-  result.transmissions = topo.medium->stats().transmissions;
-  result.tx_by_kind.insert(topo.medium->stats().tx_by_kind.begin(),
-                           topo.medium->stats().tx_by_kind.end());
-  result.collided_frames = topo.medium->stats().collided_frames;
-  result.events_executed = topo.sched.executed();
-  return result;
+template <typename PeerT>
+TrialResult finish(const ScenarioParams& params, Topology& topo,
+                   CompletionTracker& tracker,
+                   const std::vector<std::unique_ptr<PeerT>>& peers) {
+  return run_to_completion(params, topo, tracker, [&] {
+    StateSample s;
+    for (const auto& p : peers) s.state_bytes += p->state_bytes();
+    return s;
+  });
 }
 
 }  // namespace
 
 TrialResult run_bithoc_trial(const ScenarioParams& params) {
-  Topology topo(params);
-  std::vector<std::unique_ptr<BithocPeer>> peers;
+  Topology topo(params, params.seed, "/collection-1533783192", "/producer",
+                "file-");
+  CompletionTracker tracker;
+  tracker.expected =
+      params.stationary_downloaders + params.mobile_downloaders - 1;
+
+  auto peers = place_downloaders<BithocPeer>(
+      params, topo, tracker, [&](sim::MobilityModel* mob, bool is_seed) {
+        return std::make_unique<BithocPeer>(topo.sched, *topo.medium, mob,
+                                            topo.rng.fork(),
+                                            BithocPeer::Options{},
+                                            topo.collection, is_seed);
+      },
+      /*start_each=*/true);
+
   std::vector<std::unique_ptr<ip::Node>> forwarders;
   std::vector<std::unique_ptr<HelloRelay>> relays;
-
-  const int total_downloaders =
-      params.stationary_downloaders + params.mobile_downloaders;
-  int completed = 0;
-  std::vector<double> completion_times;
-
-  for (int i = 0; i < total_downloaders; ++i) {
-    sim::MobilityModel* mob =
-        i < params.stationary_downloaders
-            ? topo.stationary(params, i)
-            : topo.mobile(params);
-    bool is_seed = i == params.stationary_downloaders;  // first mobile node
-    auto peer = std::make_unique<BithocPeer>(
-        topo.sched, *topo.medium, mob, topo.rng.fork(), BithocPeer::Options{},
-        topo.collection, is_seed);
-    if (!is_seed) {
-      peer->set_completion_callback(
-          [&completed, &completion_times](TimePoint t) {
-            ++completed;
-            completion_times.push_back(t.to_seconds());
-          });
-    }
-    peer->start();
-    peers.push_back(std::move(peer));
-  }
-
-  const int forwarder_count = params.pure_forwarders + params.dapes_intermediates;
+  const int forwarder_count =
+      params.pure_forwarders + params.dapes_intermediates;
   for (int i = 0; i < forwarder_count; ++i) {
     auto node = std::make_unique<ip::Node>(topo.sched, *topo.medium,
                                            topo.mobile(params),
@@ -152,40 +91,24 @@ TrialResult run_bithoc_trial(const ScenarioParams& params) {
     forwarders.push_back(std::move(node));
   }
 
-  return run_to_completion(
-      params, topo, peers, forwarders,
-      [](const BithocPeer& p) { return p.state_bytes(); },
-      total_downloaders - 1, &completed, &completion_times);
+  return finish(params, topo, tracker, peers);
 }
 
 TrialResult run_ekta_trial(const ScenarioParams& params) {
-  Topology topo(params);
-  std::vector<std::unique_ptr<EktaPeer>> peers;
-  std::vector<std::unique_ptr<ip::Node>> forwarders;
+  Topology topo(params, params.seed, "/collection-1533783192", "/producer",
+                "file-");
+  CompletionTracker tracker;
+  tracker.expected =
+      params.stationary_downloaders + params.mobile_downloaders - 1;
 
-  const int total_downloaders =
-      params.stationary_downloaders + params.mobile_downloaders;
-  int completed = 0;
-  std::vector<double> completion_times;
-
-  for (int i = 0; i < total_downloaders; ++i) {
-    sim::MobilityModel* mob =
-        i < params.stationary_downloaders
-            ? topo.stationary(params, i)
-            : topo.mobile(params);
-    bool is_seed = i == params.stationary_downloaders;
-    auto peer = std::make_unique<EktaPeer>(
-        topo.sched, *topo.medium, mob, topo.rng.fork(), EktaPeer::Options{},
-        topo.collection, is_seed);
-    if (!is_seed) {
-      peer->set_completion_callback(
-          [&completed, &completion_times](TimePoint t) {
-            ++completed;
-            completion_times.push_back(t.to_seconds());
-          });
-    }
-    peers.push_back(std::move(peer));
-  }
+  auto peers = place_downloaders<EktaPeer>(
+      params, topo, tracker, [&](sim::MobilityModel* mob, bool is_seed) {
+        return std::make_unique<EktaPeer>(topo.sched, *topo.medium, mob,
+                                          topo.rng.fork(),
+                                          EktaPeer::Options{},
+                                          topo.collection, is_seed);
+      },
+      /*start_each=*/false);
   // Bootstrap member lists (Ekta nodes know the swarm membership).
   for (auto& a : peers) {
     for (auto& b : peers) {
@@ -194,7 +117,9 @@ TrialResult run_ekta_trial(const ScenarioParams& params) {
   }
   for (auto& p : peers) p->start();
 
-  const int forwarder_count = params.pure_forwarders + params.dapes_intermediates;
+  std::vector<std::unique_ptr<ip::Node>> forwarders;
+  const int forwarder_count =
+      params.pure_forwarders + params.dapes_intermediates;
   for (int i = 0; i < forwarder_count; ++i) {
     auto node = std::make_unique<ip::Node>(topo.sched, *topo.medium,
                                            topo.mobile(params),
@@ -203,28 +128,7 @@ TrialResult run_ekta_trial(const ScenarioParams& params) {
     forwarders.push_back(std::move(node));
   }
 
-  return run_to_completion(
-      params, topo, peers, forwarders,
-      [](const EktaPeer& p) { return p.state_bytes(); },
-      total_downloaders - 1, &completed, &completion_times);
-}
-
-std::vector<TrialResult> run_bithoc_trials(ScenarioParams params, int trials) {
-  std::vector<TrialResult> results;
-  for (int t = 0; t < trials; ++t) {
-    params.seed = params.seed * 6364136223846793005ULL + 1442695040888963407ULL;
-    results.push_back(run_bithoc_trial(params));
-  }
-  return results;
-}
-
-std::vector<TrialResult> run_ekta_trials(ScenarioParams params, int trials) {
-  std::vector<TrialResult> results;
-  for (int t = 0; t < trials; ++t) {
-    params.seed = params.seed * 6364136223846793005ULL + 1442695040888963407ULL;
-    results.push_back(run_ekta_trial(params));
-  }
-  return results;
+  return finish(params, topo, tracker, peers);
 }
 
 }  // namespace dapes::harness

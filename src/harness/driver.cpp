@@ -1,0 +1,107 @@
+#include "harness/driver.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "harness/realworld.hpp"
+
+namespace dapes::harness {
+
+namespace {
+
+/// Adapts a stateless trial function to the ProtocolDriver interface; all
+/// built-in drivers are instances of this.
+class FunctionDriver : public ProtocolDriver {
+ public:
+  FunctionDriver(std::string name,
+                 std::function<TrialResult(const ScenarioParams&)> run)
+      : name_(std::move(name)), run_(std::move(run)) {}
+
+  const std::string& name() const override { return name_; }
+
+  TrialResult run_trial(const ScenarioParams& params) const override {
+    return run_(params);
+  }
+
+ private:
+  std::string name_;
+  std::function<TrialResult(const ScenarioParams&)> run_;
+};
+
+}  // namespace
+
+ProtocolDriverRegistry::ProtocolDriverRegistry() {
+  add(ProtocolNames::kDapes, run_dapes_trial);
+  add(ProtocolNames::kBithoc, run_bithoc_trial);
+  add(ProtocolNames::kEkta, run_ekta_trial);
+  for (int scenario = 1; scenario <= 3; ++scenario) {
+    const char* name = scenario == 1   ? ProtocolNames::kRealWorldCarrier
+                       : scenario == 2 ? ProtocolNames::kRealWorldRepository
+                                       : ProtocolNames::kRealWorldMoving;
+    add(name, [scenario](const ScenarioParams& params) {
+      return run_realworld_trial(scenario, params);
+    });
+  }
+}
+
+ProtocolDriverRegistry& ProtocolDriverRegistry::instance() {
+  static ProtocolDriverRegistry registry;
+  return registry;
+}
+
+void ProtocolDriverRegistry::add(std::shared_ptr<const ProtocolDriver> driver) {
+  if (find(driver->name()) != nullptr) {
+    throw std::invalid_argument("duplicate protocol driver: " +
+                                driver->name());
+  }
+  drivers_.push_back(std::move(driver));
+}
+
+void ProtocolDriverRegistry::add(
+    const std::string& name,
+    std::function<TrialResult(const ScenarioParams&)> run) {
+  add(std::make_shared<FunctionDriver>(name, std::move(run)));
+}
+
+const ProtocolDriver* ProtocolDriverRegistry::find(
+    const std::string& name) const {
+  for (const auto& d : drivers_) {
+    if (d->name() == name) return d.get();
+  }
+  return nullptr;
+}
+
+const ProtocolDriver& ProtocolDriverRegistry::get(
+    const std::string& name) const {
+  const ProtocolDriver* driver = find(name);
+  if (driver == nullptr) {
+    std::ostringstream msg;
+    msg << "unknown protocol driver \"" << name << "\"; registered:";
+    for (const auto& n : names()) msg << " " << n;
+    throw std::out_of_range(msg.str());
+  }
+  return *driver;
+}
+
+std::vector<std::string> ProtocolDriverRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(drivers_.size());
+  for (const auto& d : drivers_) out.push_back(d->name());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TrialResult run_trial(const ProtocolDriver& driver,
+                      const ScenarioParams& params) {
+  return driver.run_trial(params);
+}
+
+TrialResult run_trial(const std::string& driver_name,
+                      const ScenarioParams& params) {
+  return run_trial(ProtocolDriverRegistry::instance().get(driver_name),
+                   params);
+}
+
+}  // namespace dapes::harness

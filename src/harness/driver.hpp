@@ -1,0 +1,89 @@
+// Protocol drivers: the pluggable unit of the experiment engine.
+//
+// A ProtocolDriver runs one simulated trial of one protocol stack on the
+// shared topology. Drivers are registered under well-known string names
+// (Envoy-style: "dapes", "bithoc", "ekta", "realworld.carrier", ...) so
+// benches, sweeps and examples select protocols by name instead of linking
+// against per-protocol entry points. New protocols plug in by registering
+// a driver; nothing in the engine enumerates protocols.
+//
+// Drivers must be stateless with respect to trials: run_trial is const and
+// may be called concurrently from many threads (TrialRunner), so all trial
+// state must live inside the call.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace dapes::harness {
+
+/// One pluggable protocol stack. run_trial must be thread-safe: every
+/// trial builds its own Scheduler/Medium/Rng world from `params`.
+class ProtocolDriver {
+ public:
+  virtual ~ProtocolDriver() = default;
+
+  /// Well-known registry name ("dapes", "bithoc", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Run one trial, fully determined by `params` (including params.seed).
+  virtual TrialResult run_trial(const ScenarioParams& params) const = 0;
+};
+
+/// Well-known driver names. New drivers should follow the dotted-suffix
+/// convention for families ("realworld.carrier").
+struct ProtocolNames {
+  static constexpr const char* kDapes = "dapes";
+  static constexpr const char* kBithoc = "bithoc";
+  static constexpr const char* kEkta = "ekta";
+  static constexpr const char* kRealWorldCarrier = "realworld.carrier";
+  static constexpr const char* kRealWorldRepository = "realworld.repository";
+  static constexpr const char* kRealWorldMoving = "realworld.moving";
+};
+
+/// String-keyed driver registry. The built-in drivers above are registered
+/// on first use; extensions may add their own before running experiments.
+/// Registration is not synchronized against concurrent lookups — register
+/// everything up front, before fanning trials out.
+class ProtocolDriverRegistry {
+ public:
+  /// The process-wide registry.
+  static ProtocolDriverRegistry& instance();
+
+  /// Register a driver under its name(). Throws std::invalid_argument on a
+  /// duplicate name.
+  void add(std::shared_ptr<const ProtocolDriver> driver);
+
+  /// Convenience: register a stateless trial function under `name`.
+  void add(const std::string& name,
+           std::function<TrialResult(const ScenarioParams&)> run);
+
+  /// Lookup; throws std::out_of_range naming the missing driver and
+  /// listing the registered ones.
+  const ProtocolDriver& get(const std::string& name) const;
+
+  /// Lookup; nullptr when absent.
+  const ProtocolDriver* find(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  ProtocolDriverRegistry();
+
+  std::vector<std::shared_ptr<const ProtocolDriver>> drivers_;
+};
+
+/// The engine's single-trial entry point: runs `driver` once with `params`.
+TrialResult run_trial(const ProtocolDriver& driver,
+                      const ScenarioParams& params);
+
+/// Name-based convenience (registry lookup + run_trial).
+TrialResult run_trial(const std::string& driver_name,
+                      const ScenarioParams& params);
+
+}  // namespace dapes::harness

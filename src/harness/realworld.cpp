@@ -1,19 +1,14 @@
 #include "harness/realworld.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
-#include "sim/medium.hpp"
-#include "sim/mobility.hpp"
-#include "sim/scheduler.hpp"
+#include "harness/topology.hpp"
 
 namespace dapes::harness {
 
 namespace {
 
-using core::Collection;
 using core::Peer;
-using sim::Duration;
 using sim::TimePoint;
 using sim::Vec2;
 using Waypoint = sim::WaypointMobility::Waypoint;
@@ -22,73 +17,34 @@ TimePoint at(double seconds) {
   return TimePoint{static_cast<int64_t>(seconds * 1e6)};
 }
 
-/// The modeled system-load proxies. Coefficients are arbitrary but fixed;
-/// the *shape* across scenarios (driven by events, frames and state) is
-/// what reproduces Table I. Documented in EXPERIMENTS.md.
-void fill_system_load(RealWorldResult& r, uint64_t events, uint64_t frames,
-                      size_t peak_state_bytes) {
-  r.system_calls = 3 * frames + events / 2;
-  r.context_switches = frames + events / 8;
-  r.page_faults = static_cast<uint64_t>(peak_state_bytes / 4096) + frames / 64;
-}
-
 }  // namespace
 
-RealWorldResult run_realworld_scenario(int scenario,
-                                       const RealWorldParams& params) {
+TrialResult run_realworld_trial(int scenario, const ScenarioParams& params) {
   if (scenario < 1 || scenario > 3) {
-    throw std::invalid_argument("run_realworld_scenario: scenario in 1..3");
+    throw std::invalid_argument("run_realworld_trial: scenario in 1..3");
   }
 
-  common::Rng rng(params.seed * 977 + static_cast<uint64_t>(scenario));
-  sim::Scheduler sched;
-  sim::Medium::Params mp;
-  mp.range_m = params.wifi_range_m;
-  mp.data_rate_bps = params.data_rate_bps;
-  mp.loss_rate = params.loss_rate;
-  sim::Medium medium(sched, mp, rng.fork());
+  Topology topo(params, params.seed * 977 + static_cast<uint64_t>(scenario),
+                "/field-report-1533783192", "/realworld/producer", "image-");
 
-  crypto::KeyChain keys;
-  crypto::PrivateKey key = keys.generate_key("/realworld/producer",
-                                             params.seed);
-  std::vector<Collection::SyntheticFileInput> files;
-  for (size_t i = 0; i < params.files; ++i) {
-    files.push_back({"image-" + std::to_string(i), params.file_size_bytes});
-  }
-  auto collection = Collection::create_synthetic(
-      ndn::Name("/field-report-1533783192"), std::move(files),
-      params.packet_size, core::MetadataFormat::kPacketDigest, key);
-
-  std::vector<std::unique_ptr<sim::MobilityModel>> mobility;
   struct Member {
     std::string id;
     bool producer = false;
   };
   std::vector<Member> members;
-
-  auto waypoints = [&](std::vector<Waypoint> pts) {
-    mobility.push_back(
-        std::make_unique<sim::WaypointMobility>(std::move(pts)));
-    return mobility.back().get();
-  };
-  auto fixed = [&](Vec2 pos) {
-    mobility.push_back(std::make_unique<sim::StationaryMobility>(pos));
-    return mobility.back().get();
-  };
-
   std::vector<sim::MobilityModel*> models;
 
   switch (scenario) {
     case 1: {
       // Carrier: A (producer) top-left, B bottom-left, C bottom-right —
       // three disconnected segments. D shuttles A -> B -> C.
-      models.push_back(fixed({50, 250}));  // A
+      models.push_back(topo.fixed({50, 250}));  // A
       members.push_back({"A", true});
-      models.push_back(fixed({50, 50}));   // B
+      models.push_back(topo.fixed({50, 50}));   // B
       members.push_back({"B", false});
-      models.push_back(fixed({250, 50}));  // C
+      models.push_back(topo.fixed({250, 50}));  // C
       members.push_back({"C", false});
-      models.push_back(waypoints({
+      models.push_back(topo.waypoints({
           {at(0), {60, 240}},     // with A
           {at(90), {60, 240}},    // fetch window at A
           {at(150), {60, 60}},    // walk to B
@@ -102,9 +58,9 @@ RealWorldResult run_realworld_scenario(int scenario,
     case 2: {
       // Repository: C produces and visits the repo; A and B then fetch
       // from the repo simultaneously.
-      models.push_back(fixed({150, 150}));  // repo
+      models.push_back(topo.fixed({150, 150}));  // repo
       members.push_back({"repo", false});
-      models.push_back(waypoints({
+      models.push_back(topo.waypoints({
           {at(0), {280, 280}},
           {at(40), {170, 165}},   // reach the repo
           {at(200), {170, 165}},  // serve the repo
@@ -112,14 +68,14 @@ RealWorldResult run_realworld_scenario(int scenario,
           {at(1500), {280, 280}},
       }));                        // C (producer)
       members.push_back({"C", true});
-      models.push_back(waypoints({
+      models.push_back(topo.waypoints({
           {at(0), {20, 150}},
           {at(280), {20, 150}},   // busy elsewhere while C seeds the repo
           {at(380), {130, 150}},  // then walk in and fetch from the repo
           {at(1500), {130, 150}},
       }));                        // A
       members.push_back({"A", false});
-      models.push_back(waypoints({
+      models.push_back(topo.waypoints({
           {at(0), {280, 20}},
           {at(280), {280, 20}},
           {at(380), {165, 130}},  // arrives about when A does
@@ -137,9 +93,9 @@ RealWorldResult run_realworld_scenario(int scenario,
       const Vec2 starts[4] = {{20, 20}, {140, 20}, {20, 140}, {140, 140}};
       const char* ids[4] = {"A", "B", "C", "D"};
       for (int i = 0; i < 4; ++i) {
-        mobility.push_back(std::make_unique<sim::RandomDirectionMobility>(
-            starts[i], rp, rng.fork()));
-        models.push_back(mobility.back().get());
+        topo.mobility.push_back(std::make_unique<sim::RandomDirectionMobility>(
+            starts[i], rp, topo.rng.fork()));
+        models.push_back(topo.mobility.back().get());
         members.push_back({ids[i], i == 0});
       }
       break;
@@ -147,61 +103,66 @@ RealWorldResult run_realworld_scenario(int scenario,
   }
 
   std::vector<std::unique_ptr<Peer>> peers;
-  int completed = 0;
-  double last_completion = 0.0;
-  int expected = 0;
+  CompletionTracker tracker;
   for (size_t i = 0; i < members.size(); ++i) {
     core::PeerOptions po = params.peer;
     po.id = members[i].id;
-    auto peer = std::make_unique<Peer>(sched, medium, models[i], rng.fork(),
-                                       po);
-    peer->keychain().import_key(key);
-    peer->add_trust_anchor(key.id());
+    auto peer = std::make_unique<Peer>(topo.sched, *topo.medium, models[i],
+                                       topo.rng.fork(), po);
+    peer->keychain().import_key(topo.producer_key);
+    peer->add_trust_anchor(topo.producer_key.id());
     if (members[i].producer) {
-      peer->publish(collection);
+      peer->publish(topo.collection);
     } else {
-      ++expected;
-      peer->subscribe(collection);
-      peer->set_completion_callback(
-          [&completed, &last_completion](const ndn::Name&, TimePoint t) {
-            ++completed;
-            last_completion = std::max(last_completion, t.to_seconds());
-          });
+      ++tracker.expected;
+      peer->subscribe(topo.collection);
+      peer->set_completion_callback([&tracker](const ndn::Name&, TimePoint t) {
+        tracker.record(t.to_seconds());
+      });
     }
     peer->start();
     peers.push_back(std::move(peer));
   }
 
+  TrialResult result = run_to_completion(params, topo, tracker, [&] {
+    StateSample s;
+    for (const auto& p : peers) {
+      s.state_bytes += p->state_bytes();
+      s.knowledge_bytes += p->knowledge_bytes();
+    }
+    return s;
+  });
+  // Table I reports when the *last* peer finishes, not the mean.
+  result.download_time_s = tracker.last_time(params.sim_limit_s);
+  return result;
+}
+
+RealWorldResult run_realworld_scenario(int scenario,
+                                       const RealWorldParams& params) {
+  ScenarioParams sp;
+  sp.files = params.files;
+  sp.file_size_bytes = params.file_size_bytes;
+  sp.packet_size = params.packet_size;
+  sp.wifi_range_m = params.wifi_range_m;
+  sp.data_rate_bps = params.data_rate_bps;
+  sp.loss_rate = params.loss_rate;
+  sp.sim_limit_s = params.sim_limit_s;
+  sp.peer = params.peer;
+  sp.seed = params.seed;
+
+  TrialResult t = run_realworld_trial(scenario, sp);
+
   RealWorldResult result;
   result.scenario = "scenario-" + std::to_string(scenario);
-  const TimePoint limit{static_cast<int64_t>(params.sim_limit_s * 1e6)};
-  const Duration chunk = Duration::seconds(5.0);
-  size_t peak_state = 0;
-  size_t peak_knowledge = 0;
-  TimePoint cursor = TimePoint::zero();
-  while (cursor < limit && completed < expected) {
-    cursor = std::min(TimePoint{cursor.us + chunk.us}, limit);
-    sched.run_until(cursor);
-    size_t state = 0;
-    size_t knowledge = 0;
-    for (const auto& p : peers) {
-      state += p->state_bytes();
-      knowledge += p->knowledge_bytes();
-    }
-    peak_state = std::max(peak_state, state);
-    peak_knowledge = std::max(peak_knowledge, knowledge);
-  }
-
-  result.download_time_s =
-      completed == expected ? last_completion : params.sim_limit_s;
-  result.completion_fraction =
-      expected == 0 ? 1.0 : static_cast<double>(completed) / expected;
-  result.transmissions = medium.stats().transmissions;
+  result.download_time_s = t.download_time_s;
+  result.transmissions = t.transmissions;
   result.memory_overhead_mb =
-      static_cast<double>(peak_state) / (1024.0 * 1024.0);
-  result.knowledge_kb = static_cast<double>(peak_knowledge) / 1024.0;
-  fill_system_load(result, sched.executed(), medium.stats().transmissions,
-                   peak_state);
+      static_cast<double>(t.peak_state_bytes) / (1024.0 * 1024.0);
+  result.knowledge_kb = static_cast<double>(t.peak_knowledge_bytes) / 1024.0;
+  result.context_switches = t.context_switches;
+  result.system_calls = t.system_calls;
+  result.page_faults = t.page_faults;
+  result.completion_fraction = t.completion_fraction;
   return result;
 }
 

@@ -51,7 +51,15 @@ struct RealWorldResult {
   double completion_fraction = 0.0;
 };
 
-/// Run scenario 1/2/3 of Fig. 8.
+/// Run scenario 1/2/3 of Fig. 8 as an engine trial (the ScenarioParams
+/// radio/workload/peer fields apply; the Fig. 7 population fields are
+/// ignored — the cast is scripted). download_time_s is the time the *last*
+/// peer finishes (Table I), not the Fig. 9/10 mean. This is what the
+/// "realworld.*" protocol drivers in the registry call.
+TrialResult run_realworld_trial(int scenario, const ScenarioParams& params);
+
+/// Run scenario 1/2/3 of Fig. 8 with the legacy params/result types
+/// (wraps run_realworld_trial).
 RealWorldResult run_realworld_scenario(int scenario,
                                        const RealWorldParams& params);
 

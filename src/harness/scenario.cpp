@@ -1,183 +1,101 @@
+// The DAPES protocol driver for the Fig. 7 scenario. Topology construction
+// and the run-to-completion loop live in topology.{hpp,cpp}; this file only
+// places DAPES peers and forwarders on that world.
 #include "harness/scenario.hpp"
 
-#include <algorithm>
-
 #include "dapes/forwarder_node.hpp"
-#include "sim/medium.hpp"
-#include "sim/mobility.hpp"
-#include "sim/scheduler.hpp"
+#include "harness/topology.hpp"
 
 namespace dapes::harness {
 
 namespace {
 
-using core::Collection;
 using core::ForwarderNode;
 using core::Peer;
-using sim::Duration;
 using sim::TimePoint;
-using sim::Vec2;
-
-std::unique_ptr<sim::RandomDirectionMobility> make_mobile(
-    const ScenarioParams& params, common::Rng& rng) {
-  sim::RandomDirectionMobility::Params mp;
-  mp.field = sim::Field{params.field_m, params.field_m};
-  Vec2 start{rng.uniform(0.0, params.field_m),
-             rng.uniform(0.0, params.field_m)};
-  return std::make_unique<sim::RandomDirectionMobility>(start, mp, rng.fork());
-}
 
 }  // namespace
 
 TrialResult run_dapes_trial(const ScenarioParams& params) {
-  common::Rng rng(params.seed);
-  sim::Scheduler sched;
+  Topology topo(params, params.seed, "/collection-1533783192",
+                "/dapes/producer", "file-");
 
-  sim::Medium::Params mp;
-  mp.range_m = params.wifi_range_m;
-  mp.data_rate_bps = params.data_rate_bps;
-  mp.loss_rate = params.loss_rate;
-  sim::Medium medium(sched, mp, rng.fork());
-
-  // --- the shared collection ---
-  crypto::KeyChain producer_keys;
-  crypto::PrivateKey producer_key =
-      producer_keys.generate_key("/dapes/producer", params.seed);
-  std::vector<Collection::SyntheticFileInput> files;
-  for (size_t i = 0; i < params.files; ++i) {
-    files.push_back({"file-" + std::to_string(i), params.file_size_bytes});
-  }
-  auto collection = Collection::create_synthetic(
-      ndn::Name("/collection-1533783192"), std::move(files),
-      params.packet_size, params.metadata_format, producer_key);
-
-  // --- mobility (owned here; nodes keep raw pointers) ---
-  std::vector<std::unique_ptr<sim::MobilityModel>> mobility;
   std::vector<std::unique_ptr<Peer>> downloaders;
   std::vector<std::unique_ptr<ForwarderNode>> forwarders;
+  CompletionTracker tracker;
+  tracker.expected =
+      params.stationary_downloaders + params.mobile_downloaders - 1;
 
-  const int total_downloaders =
-      params.stationary_downloaders + params.mobile_downloaders;
-  int completed = 0;
-  std::vector<double> completion_times;
-
-  auto add_downloader = [&](std::unique_ptr<sim::MobilityModel> mob,
-                            const std::string& id, bool is_producer) {
-    mobility.push_back(std::move(mob));
+  auto add_downloader = [&](sim::MobilityModel* mob, const std::string& id,
+                            bool is_producer) {
     core::PeerOptions po = params.peer;
     po.id = id;
-    auto peer = std::make_unique<Peer>(sched, medium, mobility.back().get(),
-                                       rng.fork(), po);
-    peer->keychain().import_key(producer_key);
-    peer->add_trust_anchor(producer_key.id());
+    auto peer = std::make_unique<Peer>(topo.sched, *topo.medium, mob,
+                                       topo.rng.fork(), po);
+    peer->keychain().import_key(topo.producer_key);
+    peer->add_trust_anchor(topo.producer_key.id());
     if (is_producer) {
-      peer->publish(collection);
+      peer->publish(topo.collection);
     } else {
-      peer->subscribe(collection);
-      peer->set_completion_callback(
-          [&completed, &completion_times](const ndn::Name&, TimePoint t) {
-            ++completed;
-            completion_times.push_back(t.to_seconds());
-          });
+      peer->subscribe(topo.collection);
+      peer->set_completion_callback([&tracker](const ndn::Name&, TimePoint t) {
+        tracker.record(t.to_seconds());
+      });
     }
     peer->start();
     downloaders.push_back(std::move(peer));
   };
 
   // Stationary repositories at a regular grid inset from the corners.
-  const double inset = params.field_m / 4.0;
-  const std::vector<Vec2> repo_positions = {
-      {inset, inset},
-      {params.field_m - inset, inset},
-      {inset, params.field_m - inset},
-      {params.field_m - inset, params.field_m - inset}};
   for (int i = 0; i < params.stationary_downloaders; ++i) {
-    Vec2 pos = repo_positions[static_cast<size_t>(i) % repo_positions.size()];
-    add_downloader(std::make_unique<sim::StationaryMobility>(pos),
-                   "repo-" + std::to_string(i), /*is_producer=*/false);
+    add_downloader(topo.stationary(params, i), "repo-" + std::to_string(i),
+                   /*is_producer=*/false);
   }
 
   // Mobile downloaders; the first doubles as the producer that seeds the
   // collection into the swarm.
   for (int i = 0; i < params.mobile_downloaders; ++i) {
-    add_downloader(make_mobile(params, rng), "peer-" + std::to_string(i),
+    add_downloader(topo.mobile(params), "peer-" + std::to_string(i),
                    /*is_producer=*/i == 0);
   }
 
   // Pure forwarders and intermediate DAPES nodes.
-  for (int i = 0; i < params.pure_forwarders; ++i) {
-    mobility.push_back(make_mobile(params, rng));
+  auto add_forwarder = [&](core::ForwarderKind kind) {
     ForwarderNode::Options fo;
-    fo.kind = core::ForwarderKind::kPureForwarder;
-    fo.forward_probability = params.peer.multihop
-                                 ? params.peer.forward_probability
-                                 : 0.0;
+    fo.kind = kind;
+    fo.forward_probability =
+        params.peer.multihop ? params.peer.forward_probability : 0.0;
     forwarders.push_back(std::make_unique<ForwarderNode>(
-        sched, medium, mobility.back().get(), rng.fork(), fo));
+        topo.sched, *topo.medium, topo.mobile(params), topo.rng.fork(), fo));
+  };
+  for (int i = 0; i < params.pure_forwarders; ++i) {
+    add_forwarder(core::ForwarderKind::kPureForwarder);
   }
   for (int i = 0; i < params.dapes_intermediates; ++i) {
-    mobility.push_back(make_mobile(params, rng));
-    ForwarderNode::Options fo;
-    fo.kind = core::ForwarderKind::kDapesIntermediate;
-    fo.forward_probability = params.peer.multihop
-                                 ? params.peer.forward_probability
-                                 : 0.0;
-    forwarders.push_back(std::make_unique<ForwarderNode>(
-        sched, medium, mobility.back().get(), rng.fork(), fo));
+    add_forwarder(core::ForwarderKind::kDapesIntermediate);
   }
 
-  // --- run, sampling state and stopping early when everyone is done ---
-  const int expected_completions = total_downloaders - 1;  // minus producer
-  TrialResult result;
-  const TimePoint limit{static_cast<int64_t>(params.sim_limit_s * 1e6)};
-  const Duration chunk = Duration::seconds(5.0);
-  TimePoint cursor = TimePoint::zero();
-  while (cursor < limit && completed < expected_completions) {
-    cursor = std::min(TimePoint{cursor.us + chunk.us}, limit);
-    sched.run_until(cursor);
-    size_t total_state = 0;
-    for (const auto& p : downloaders) total_state += p->state_bytes();
-    for (const auto& f : forwarders) total_state += f->state_bytes();
-    result.peak_state_bytes = std::max(result.peak_state_bytes, total_state);
-    result.total_state_bytes = total_state;
-  }
-
-  // --- metrics ---
-  double sum = 0.0;
-  for (double t : completion_times) sum += t;
-  int missing = expected_completions - completed;
-  sum += static_cast<double>(missing) * params.sim_limit_s;
-  result.download_time_s = sum / std::max(1, expected_completions);
-  result.completion_fraction =
-      static_cast<double>(completed) / std::max(1, expected_completions);
-  result.transmissions = medium.stats().transmissions;
-  result.tx_by_kind.insert(medium.stats().tx_by_kind.begin(),
-                           medium.stats().tx_by_kind.end());
-  result.collided_frames = medium.stats().collided_frames;
-  result.events_executed = sched.executed();
+  TrialResult result = run_to_completion(params, topo, tracker, [&] {
+    StateSample s;
+    for (const auto& p : downloaders) {
+      s.state_bytes += p->state_bytes();
+      s.knowledge_bytes += p->knowledge_bytes();
+    }
+    for (const auto& f : forwarders) s.state_bytes += f->state_bytes();
+    return s;
+  });
 
   uint64_t forwards = 0;
   uint64_t timeouts = 0;
-  auto accumulate = [&](core::PureForwarderStrategy& s) {
-    forwards += s.forwards();
-    timeouts += s.relay_timeouts();
-  };
-  for (const auto& f : forwarders) accumulate(f->strategy());
+  for (const auto& f : forwarders) {
+    forwards += f->strategy().forwards();
+    timeouts += f->strategy().relay_timeouts();
+  }
   result.forward_accuracy =
       forwards == 0 ? 0.0
                     : 1.0 - static_cast<double>(timeouts) /
                                 static_cast<double>(forwards);
   return result;
-}
-
-std::vector<TrialResult> run_dapes_trials(ScenarioParams params, int trials) {
-  std::vector<TrialResult> results;
-  results.reserve(static_cast<size_t>(trials));
-  for (int t = 0; t < trials; ++t) {
-    params.seed = params.seed * 6364136223846793005ULL + 1442695040888963407ULL;
-    results.push_back(run_dapes_trial(params));
-  }
-  return results;
 }
 
 }  // namespace dapes::harness

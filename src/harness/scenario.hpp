@@ -75,22 +75,33 @@ struct TrialResult {
   /// Fraction of knowledge-forwarded Interests that brought data back —
   /// reported by the paper as 83% (§VI-D).
   double forward_accuracy = 0.0;
+  /// Peak "what is available around me" bookkeeping across nodes, bytes
+  /// (bitmaps, RPF state, overheard knowledge — Table I's growing column).
+  size_t peak_knowledge_bytes = 0;
+  // Modeled system-load proxies derived from events, frames and state;
+  // EXPERIMENTS.md documents the formulas (Table I).
+  uint64_t context_switches = 0;
+  uint64_t system_calls = 0;
+  uint64_t page_faults = 0;
 };
 
 /// Run one DAPES trial of the Fig. 7 scenario.
 TrialResult run_dapes_trial(const ScenarioParams& params);
 
-/// Run a trial with the given number of trials, returning each result.
-std::vector<TrialResult> run_dapes_trials(ScenarioParams params, int trials);
-
 /// Same topology and workload, but peers run Bithoc (DSDV + scoped HELLO
 /// flooding + TCP) — the paper's first IP baseline (Fig. 10).
 TrialResult run_bithoc_trial(const ScenarioParams& params);
-std::vector<TrialResult> run_bithoc_trials(ScenarioParams params, int trials);
 
 /// Same topology and workload, but peers run Ekta (DSR + DHT + UDP) —
 /// the paper's second IP baseline (Fig. 10).
 TrialResult run_ekta_trial(const ScenarioParams& params);
+
+// Multi-trial convenience wrappers over the experiment engine (driver
+// registry + TrialRunner, see driver.hpp / trial_runner.hpp). Trial i runs
+// with seed common::derive_seed(params.seed, i) on a single thread; use
+// TrialRunner directly to fan trials out over a thread pool.
+std::vector<TrialResult> run_dapes_trials(ScenarioParams params, int trials);
+std::vector<TrialResult> run_bithoc_trials(ScenarioParams params, int trials);
 std::vector<TrialResult> run_ekta_trials(ScenarioParams params, int trials);
 
 }  // namespace dapes::harness

@@ -1,0 +1,273 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "harness/metrics.hpp"
+
+namespace dapes::harness {
+
+std::optional<OutputFormat> parse_output_format(std::string_view s) {
+  if (s == "text") return OutputFormat::kText;
+  if (s == "csv") return OutputFormat::kCsv;
+  if (s == "json") return OutputFormat::kJson;
+  return std::nullopt;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const TrialRunner& runner) {
+  const size_t n_series = spec.series.size();
+  const size_t n_x = spec.axis.values.size();
+  const size_t n_cells = n_series * n_x;
+  const size_t trials = spec.trials > 0 ? static_cast<size_t>(spec.trials) : 0;
+
+  // Resolve every driver before running anything: an unknown name fails
+  // the whole sweep up front, not mid-grid from a worker thread.
+  std::vector<const ProtocolDriver*> drivers;
+  drivers.reserve(n_series);
+  for (const auto& s : spec.series) {
+    drivers.push_back(&ProtocolDriverRegistry::instance().get(s.driver));
+  }
+
+  // One task per (cell, trial); the flat index makes seeds and result
+  // slots a pure function of the grid position, independent of threads.
+  std::vector<std::vector<TrialResult>> raw(
+      n_cells, std::vector<TrialResult>(trials));
+  runner.for_each_index(n_cells * trials, [&](size_t task) {
+    const size_t cell = task / trials;
+    const size_t trial = task % trials;
+    const size_t series_idx = cell / n_x;
+    const size_t x_idx = cell % n_x;
+
+    ScenarioParams p = spec.base;
+    spec.axis.apply(p, spec.axis.values[x_idx]);
+    if (spec.series[series_idx].configure) {
+      spec.series[series_idx].configure(p);
+    }
+    p.seed = common::derive_seed(common::derive_seed(spec.base.seed, cell),
+                                 trial);
+    raw[cell][trial] = drivers[series_idx]->run_trial(p);
+  });
+
+  SweepResult result;
+  result.title = spec.title;
+  result.x_label = spec.axis.label;
+  result.y_unit = spec.y_unit;
+  result.xs = spec.axis.values;
+  for (const auto& s : spec.series) result.series_labels.push_back(s.label);
+  for (const auto& m : spec.metrics) result.metric_labels.push_back(m.label);
+
+  result.values.resize(spec.metrics.size());
+  for (size_t m = 0; m < spec.metrics.size(); ++m) {
+    result.values[m].resize(n_series);
+    for (size_t s = 0; s < n_series; ++s) {
+      result.values[m][s].resize(n_x);
+      for (size_t x = 0; x < n_x; ++x) {
+        const auto& cell_trials = raw[s * n_x + x];
+        std::vector<double> samples;
+        samples.reserve(cell_trials.size());
+        for (const auto& t : cell_trials) {
+          samples.push_back(spec.metrics[m].value(t));
+        }
+        if (spec.metrics[m].percentile < 0.0) {
+          double sum = 0.0;
+          for (double v : samples) sum += v;
+          result.values[m][s][x] =
+              samples.empty() ? 0.0 : sum / static_cast<double>(samples.size());
+        } else {
+          result.values[m][s][x] =
+              percentile(std::move(samples), spec.metrics[m].percentile);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+void write_text(const SweepResult& r, std::FILE* out) {
+  std::fprintf(out, "\n=== %s ===\n", r.title.c_str());
+  if (!r.y_unit.empty()) std::fprintf(out, "(y values in %s)\n", r.y_unit.c_str());
+
+  // Table mode: a single x and several metrics reads best transposed —
+  // one row per series, one column per metric (Table I, the ablation).
+  if (r.xs.size() == 1 && r.metric_labels.size() > 1) {
+    std::fprintf(out, "%-24s", "series");
+    for (const auto& m : r.metric_labels) std::fprintf(out, " %16s", m.c_str());
+    std::fprintf(out, "\n");
+    for (size_t s = 0; s < r.series_labels.size(); ++s) {
+      std::fprintf(out, "%-24s", r.series_labels[s].c_str());
+      for (size_t m = 0; m < r.metric_labels.size(); ++m) {
+        std::fprintf(out, " %16.2f", r.values[m][s][0]);
+      }
+      std::fprintf(out, "\n");
+    }
+    return;
+  }
+
+  for (size_t m = 0; m < r.metric_labels.size(); ++m) {
+    if (r.metric_labels.size() > 1) {
+      std::fprintf(out, "-- %s --\n", r.metric_labels[m].c_str());
+    }
+    std::fprintf(out, "%-14s", r.x_label.c_str());
+    for (const auto& s : r.series_labels) std::fprintf(out, " %28s", s.c_str());
+    std::fprintf(out, "\n");
+    for (size_t x = 0; x < r.xs.size(); ++x) {
+      std::fprintf(out, "%-14.6g", r.xs[x]);
+      for (size_t s = 0; s < r.series_labels.size(); ++s) {
+        std::fprintf(out, " %28.2f", r.values[m][s][x]);
+      }
+      std::fprintf(out, "\n");
+    }
+  }
+}
+
+void write_csv_field(const std::string& v, std::FILE* out) {
+  if (v.find_first_of(",\"\n") == std::string::npos) {
+    std::fprintf(out, "%s", v.c_str());
+    return;
+  }
+  std::fputc('"', out);
+  for (char c : v) {
+    if (c == '"') std::fputc('"', out);
+    std::fputc(c, out);
+  }
+  std::fputc('"', out);
+}
+
+void write_csv(const SweepResult& r, std::FILE* out) {
+  std::fputs("metric,series,", out);
+  write_csv_field(r.x_label, out);
+  std::fputs(",value\n", out);
+  for (size_t m = 0; m < r.metric_labels.size(); ++m) {
+    for (size_t s = 0; s < r.series_labels.size(); ++s) {
+      for (size_t x = 0; x < r.xs.size(); ++x) {
+        write_csv_field(r.metric_labels[m], out);
+        std::fputc(',', out);
+        write_csv_field(r.series_labels[s], out);
+        std::fprintf(out, ",%.6g,%.6f\n", r.xs[x], r.values[m][s][x]);
+      }
+    }
+  }
+}
+
+void write_json_string(const std::string& v, std::FILE* out) {
+  std::fputc('"', out);
+  for (char c : v) {
+    switch (c) {
+      case '"': std::fputs("\\\"", out); break;
+      case '\\': std::fputs("\\\\", out); break;
+      case '\n': std::fputs("\\n", out); break;
+      case '\t': std::fputs("\\t", out); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::fprintf(out, "\\u%04x", c);
+        } else {
+          std::fputc(c, out);
+        }
+    }
+  }
+  std::fputc('"', out);
+}
+
+void write_json(const SweepResult& r, std::FILE* out) {
+  std::fputs("{\n  \"title\": ", out);
+  write_json_string(r.title, out);
+  std::fputs(",\n  \"x_label\": ", out);
+  write_json_string(r.x_label, out);
+  std::fputs(",\n  \"y_unit\": ", out);
+  write_json_string(r.y_unit, out);
+  std::fputs(",\n  \"xs\": [", out);
+  for (size_t x = 0; x < r.xs.size(); ++x) {
+    std::fprintf(out, "%s%.6g", x ? ", " : "", r.xs[x]);
+  }
+  std::fputs("],\n  \"metrics\": {\n", out);
+  for (size_t m = 0; m < r.metric_labels.size(); ++m) {
+    std::fputs("    ", out);
+    write_json_string(r.metric_labels[m], out);
+    std::fputs(": {\n", out);
+    for (size_t s = 0; s < r.series_labels.size(); ++s) {
+      std::fputs("      ", out);
+      write_json_string(r.series_labels[s], out);
+      std::fputs(": [", out);
+      for (size_t x = 0; x < r.xs.size(); ++x) {
+        std::fprintf(out, "%s%.6f", x ? ", " : "", r.values[m][s][x]);
+      }
+      std::fprintf(out, "]%s\n", s + 1 < r.series_labels.size() ? "," : "");
+    }
+    std::fprintf(out, "    }%s\n", m + 1 < r.metric_labels.size() ? "," : "");
+  }
+  std::fputs("  }\n}\n", out);
+}
+
+}  // namespace
+
+void write_sweep(const SweepResult& result, OutputFormat format,
+                 std::FILE* out) {
+  switch (format) {
+    case OutputFormat::kText: write_text(result, out); break;
+    case OutputFormat::kCsv: write_csv(result, out); break;
+    case OutputFormat::kJson: write_json(result, out); break;
+  }
+  std::fflush(out);
+}
+
+SweepMetric download_time_metric(double pct) {
+  return {"download_s", [](const TrialResult& r) { return r.download_time_s; },
+          pct};
+}
+
+SweepMetric transmissions_k_metric(double pct) {
+  return {"transmissions_k",
+          [](const TrialResult& r) {
+            return static_cast<double>(r.transmissions) / 1000.0;
+          },
+          pct};
+}
+
+SweepMetric completion_metric() {
+  return {"completion",
+          [](const TrialResult& r) { return r.completion_fraction; },
+          /*percentile=*/-1.0};
+}
+
+SweepMetric memory_mb_metric(double pct) {
+  return {"memory_mb",
+          [](const TrialResult& r) {
+            return static_cast<double>(r.peak_state_bytes) / (1024.0 * 1024.0);
+          },
+          pct};
+}
+
+SweepMetric knowledge_kb_metric(double pct) {
+  return {"knowledge_kb",
+          [](const TrialResult& r) {
+            return static_cast<double>(r.peak_knowledge_bytes) / 1024.0;
+          },
+          pct};
+}
+
+SweepMetric context_switches_metric(double pct) {
+  return {"ctx_switches",
+          [](const TrialResult& r) {
+            return static_cast<double>(r.context_switches);
+          },
+          pct};
+}
+
+SweepMetric system_calls_metric(double pct) {
+  return {"system_calls",
+          [](const TrialResult& r) {
+            return static_cast<double>(r.system_calls);
+          },
+          pct};
+}
+
+SweepMetric page_faults_metric(double pct) {
+  return {"page_faults",
+          [](const TrialResult& r) { return static_cast<double>(r.page_faults); },
+          pct};
+}
+
+}  // namespace dapes::harness

@@ -1,0 +1,95 @@
+// Declarative parameter sweeps over protocol drivers.
+//
+// Every figure and table in the paper is the same experiment shape: a grid
+// of (series x axis-value) cells, each cell N independent trials of one
+// protocol driver, each metric aggregated across trials at a percentile.
+// SweepSpec captures that shape declaratively; run_sweep executes the whole
+// grid — every (cell, trial) pair fans out over the TrialRunner pool with a
+// seed derived from (base seed, cell index, trial index), so output is
+// bit-identical for any --jobs value; write_sweep renders text, CSV or JSON.
+//
+// The bench_fig* binaries are thin SweepSpec builders over this engine.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "harness/trial_runner.hpp"
+
+namespace dapes::harness {
+
+enum class OutputFormat { kText, kCsv, kJson };
+
+/// Parses "text" / "csv" / "json"; nullopt otherwise.
+std::optional<OutputFormat> parse_output_format(std::string_view s);
+
+/// One curve: a protocol driver (registry name) plus parameter tweaks
+/// applied after the axis value.
+struct SweepSeries {
+  std::string label;
+  std::string driver;
+  std::function<void(ScenarioParams&)> configure;  // optional
+};
+
+/// The x axis: values plus how each value maps onto the params. The
+/// default applies x as the WiFi range (the paper's usual axis).
+struct SweepAxis {
+  std::string label = "range_m";
+  std::vector<double> values;
+  std::function<void(ScenarioParams&, double)> apply =
+      [](ScenarioParams& p, double x) { p.wifi_range_m = x; };
+};
+
+/// One reported metric: a TrialResult extractor plus the cross-trial
+/// aggregation (percentile in [0,100], or negative for the mean).
+struct SweepMetric {
+  std::string label;
+  std::function<double(const TrialResult&)> value;
+  double percentile = 90.0;  // the paper reports p90 over trials
+};
+
+struct SweepSpec {
+  std::string title;
+  ScenarioParams base;
+  SweepAxis axis;
+  std::vector<SweepSeries> series;
+  std::vector<SweepMetric> metrics;
+  std::string y_unit;
+  int trials = 2;
+};
+
+struct SweepResult {
+  std::string title;
+  std::string x_label;
+  std::string y_unit;
+  std::vector<double> xs;
+  std::vector<std::string> series_labels;
+  std::vector<std::string> metric_labels;
+  /// values[metric][series][x], aggregated across trials.
+  std::vector<std::vector<std::vector<double>>> values;
+};
+
+/// Execute the grid. Driver names resolve against the registry up front
+/// (throws std::out_of_range on an unknown name before any trial runs).
+SweepResult run_sweep(const SweepSpec& spec, const TrialRunner& runner);
+
+/// Render to `out` (caller owns the stream).
+void write_sweep(const SweepResult& result, OutputFormat format,
+                 std::FILE* out);
+
+// Common metrics (EXPERIMENTS.md documents units and Table I proxies).
+SweepMetric download_time_metric(double pct = 90.0);
+SweepMetric transmissions_k_metric(double pct = 90.0);
+SweepMetric completion_metric();  // mean fraction
+SweepMetric memory_mb_metric(double pct = 90.0);
+SweepMetric knowledge_kb_metric(double pct = 90.0);
+SweepMetric context_switches_metric(double pct = 90.0);
+SweepMetric system_calls_metric(double pct = 90.0);
+SweepMetric page_faults_metric(double pct = 90.0);
+
+}  // namespace dapes::harness

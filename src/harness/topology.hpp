@@ -1,0 +1,95 @@
+// Shared trial scaffolding for the protocol drivers.
+//
+// Every driver (DAPES, Bithoc, Ekta, the real-world scripts) builds the
+// same world: a seeded Rng, a Scheduler, a Medium, one signed synthetic
+// file collection, and a set of mobility models. This file owns that
+// construction plus the common run-to-completion loop so the drivers only
+// differ in the nodes they place on top.
+//
+// RNG draw order matters: Topology forks the medium's stream first, then
+// generates the producer key, then builds the collection, exactly as the
+// pre-refactor per-protocol setups did, so trial results for a given seed
+// are unchanged.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/keychain.hpp"
+#include "harness/scenario.hpp"
+#include "sim/medium.hpp"
+#include "sim/mobility.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dapes::harness {
+
+/// The world every trial shares: scheduler, medium, collection, mobility.
+struct Topology {
+  common::Rng rng;
+  sim::Scheduler sched;
+  std::unique_ptr<sim::Medium> medium;
+  crypto::KeyChain keys;
+  crypto::PrivateKey producer_key;
+  std::shared_ptr<core::Collection> collection;
+  std::vector<std::unique_ptr<sim::MobilityModel>> mobility;
+
+  /// Seeds the rng with `seed`, builds the medium from the radio params,
+  /// and creates the signed synthetic collection named `collection_name`.
+  Topology(const ScenarioParams& params, uint64_t seed,
+           const std::string& collection_name, const std::string& key_name,
+           const std::string& file_prefix);
+
+  /// Random-direction mobility across the params field, started at a
+  /// uniform position (consumes rng draws; call in node order).
+  sim::MobilityModel* mobile(const ScenarioParams& params);
+
+  /// Stationary repository position: a regular grid inset from the field
+  /// corners, cycling through the four spots.
+  sim::MobilityModel* stationary(const ScenarioParams& params, int index);
+
+  /// Stationary node at an explicit position (real-world scripts).
+  sim::MobilityModel* fixed(sim::Vec2 pos);
+
+  /// Scripted waypoint mobility (real-world scripts).
+  sim::MobilityModel* waypoints(std::vector<sim::WaypointMobility::Waypoint> pts);
+};
+
+/// Completion bookkeeping shared by all drivers.
+struct CompletionTracker {
+  int expected = 0;
+  int completed = 0;
+  std::vector<double> times;
+
+  void record(double t) {
+    ++completed;
+    times.push_back(t);
+  }
+
+  /// Mean completion time with never-finished downloaders counted at the
+  /// simulation limit (the Fig. 9/10 metric).
+  double mean_time(double limit_s) const;
+
+  /// Latest completion, or the limit if anyone never finished (Table I).
+  double last_time(double limit_s) const;
+
+  bool done() const { return completed >= expected; }
+};
+
+/// Per-sample state snapshot a driver reports back to the run loop.
+struct StateSample {
+  size_t state_bytes = 0;
+  size_t knowledge_bytes = 0;
+};
+
+/// Drive the scheduler in 5 s chunks until the limit or full completion,
+/// sampling protocol state via `sample` each chunk. Fills every TrialResult
+/// field the topology can observe (timing, completion, medium stats, state
+/// peaks, events, modeled system-load proxies); driver-specific metrics
+/// (e.g. forward_accuracy) are layered on by the caller.
+TrialResult run_to_completion(const ScenarioParams& params, Topology& topo,
+                              CompletionTracker& tracker,
+                              const std::function<StateSample()>& sample);
+
+}  // namespace dapes::harness
