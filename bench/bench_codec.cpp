@@ -1,0 +1,160 @@
+// Codec throughput microbenchmark: the zero-copy wire API's hot paths.
+//
+// Measures encode, decode, and the forward path (decode an incoming frame,
+// re-send it via the cached wire) against the re-serialize path the old
+// API forced (decode, then rebuild the wire from scratch). Emits the same
+// text/CSV/JSON shapes as the figure sweeps so BENCH_codec.json can track
+// the perf trajectory across PRs.
+//
+//   bench_codec [--trials N] [--quick] [--seed S] [--jobs N]
+//               [--format text|csv|json] [--out FILE]
+//
+// Each (series, content-size) cell runs `--trials` timed repetitions and
+// reports the best, fanned out over the TrialRunner pool.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "harness/sweep.hpp"
+#include "harness/trial_runner.hpp"
+#include "ndn/packet.hpp"
+
+namespace dapes::bench {
+namespace {
+
+using common::Bytes;
+using common::BytesView;
+
+ndn::Data make_data(common::Rng& rng, size_t content_size) {
+  ndn::Name name("/bench/codec/file");
+  name.append_number(rng.next_below(1000000));
+  ndn::Data data(std::move(name));
+  Bytes content(content_size);
+  for (auto& b : content) b = static_cast<uint8_t>(rng.next_below(256));
+  data.set_content(std::move(content));
+  return data;
+}
+
+struct CellResult {
+  double mops = 0.0;   // million operations per second
+  double mbps = 0.0;   // wire megabytes per second
+};
+
+/// Time `op()` (which processes `wire_bytes` per call) for ~20ms and
+/// return throughput.
+template <typename Op>
+CellResult time_op(size_t wire_bytes, Op&& op) {
+  using clock = std::chrono::steady_clock;
+  // Warm-up + calibration.
+  op();
+  constexpr auto kBudget = std::chrono::milliseconds(20);
+  size_t ops = 0;
+  auto start = clock::now();
+  auto deadline = start + kBudget;
+  while (clock::now() < deadline) {
+    for (int i = 0; i < 64; ++i) op();
+    ops += 64;
+  }
+  double seconds =
+      std::chrono::duration<double>(clock::now() - start).count();
+  CellResult r;
+  r.mops = static_cast<double>(ops) / seconds / 1e6;
+  r.mbps = static_cast<double>(ops) * static_cast<double>(wire_bytes) /
+           seconds / 1e6;
+  return r;
+}
+
+CellResult run_cell(const std::string& series, size_t content_size,
+                    uint64_t seed) {
+  common::Rng rng(seed);
+  ndn::Data data = make_data(rng, content_size);
+  common::BufferSlice wire = data.wire();
+  const size_t wire_bytes = wire.size();
+
+  if (series == "encode") {
+    return time_op(wire_bytes, [&] {
+      data.set_freshness(data.freshness());  // invalidate the cache
+      (void)data.wire();
+    });
+  }
+  if (series == "wire_cached") {
+    return time_op(wire_bytes, [&] { (void)data.wire(); });
+  }
+  if (series == "decode") {
+    return time_op(wire_bytes, [&] { (void)ndn::Data::decode(wire); });
+  }
+  if (series == "forward_zero_copy") {
+    // The new forward path: decode the frame, re-send the cached wire.
+    return time_op(wire_bytes, [&] {
+      auto decoded = ndn::Data::decode(wire);
+      (void)decoded->wire();
+    });
+  }
+  if (series == "forward_reserialize") {
+    // The old forward path: decode, then rebuild the wire from scratch.
+    return time_op(wire_bytes, [&] {
+      auto decoded = ndn::Data::decode(wire);
+      decoded->set_freshness(decoded->freshness());  // drop the cache
+      (void)decoded->wire();
+    });
+  }
+  return {};
+}
+
+}  // namespace
+}  // namespace dapes::bench
+
+int main(int argc, char** argv) {
+  using namespace dapes;
+  bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+
+  std::vector<size_t> sizes = args.quick
+                                  ? std::vector<size_t>{64, 512}
+                                  : std::vector<size_t>{64, 512, 4096};
+  const std::vector<std::string> series = {
+      "encode", "wire_cached", "decode", "forward_zero_copy",
+      "forward_reserialize"};
+
+  harness::SweepResult result;
+  result.title = "codec";
+  result.x_label = "content_bytes";
+  result.y_unit = "Mops/s";
+  for (size_t s : sizes) result.xs.push_back(static_cast<double>(s));
+  result.series_labels = series;
+  result.metric_labels = {"mops", "wire_mbps"};
+  result.values.assign(
+      2, std::vector<std::vector<double>>(
+             series.size(), std::vector<double>(sizes.size(), 0.0)));
+
+  // Fan the (series x size) grid out over the worker pool; each cell runs
+  // --trials timed repetitions and keeps the best (least-interfered) one.
+  harness::TrialRunner runner(args.jobs);
+  const size_t cells = series.size() * sizes.size();
+  runner.for_each_index(cells, [&](size_t cell) {
+    const size_t si = cell / sizes.size();
+    const size_t xi = cell % sizes.size();
+    bench::CellResult best;
+    for (int t = 0; t < args.trials; ++t) {
+      uint64_t seed = common::derive_seed(args.seed, cell * 1000 + t);
+      bench::CellResult r = bench::run_cell(series[si], sizes[xi], seed);
+      if (r.mops > best.mops) best = r;
+    }
+    result.values[0][si][xi] = best.mops;
+    result.values[1][si][xi] = best.mbps;
+  });
+
+  std::FILE* f = stdout;
+  if (!args.out.empty()) {
+    f = std::fopen(args.out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open --out file %s\n", args.out.c_str());
+      return 1;
+    }
+  }
+  harness::write_sweep(result, args.format, f);
+  if (f != stdout) std::fclose(f);
+  return 0;
+}

@@ -37,26 +37,39 @@ BENCHMARK(BM_MerkleBuild)->Arg(128)->Arg(1024)->Arg(10240);
 
 static void BM_InterestEncodeDecode(benchmark::State& state) {
   ndn::Interest interest(ndn::Name("/collection-1533783192/file-3/177"));
-  interest.set_nonce(0x1234abcd);
   for (auto _ : state) {
-    common::Bytes wire = interest.encode();
-    benchmark::DoNotOptimize(
-        ndn::Interest::decode(common::BytesView(wire.data(), wire.size())));
+    interest.set_nonce(0x1234abcd);  // invalidate the wire cache
+    common::BufferSlice wire = interest.wire();
+    benchmark::DoNotOptimize(ndn::Interest::decode(wire));
   }
 }
 BENCHMARK(BM_InterestEncodeDecode);
 
 static void BM_DataEncodeDecode_1KB(benchmark::State& state) {
   ndn::Data data(ndn::Name("/collection-1533783192/file-3/177"));
+  common::Duration freshness = data.freshness();
   data.set_content(common::Bytes(1024, 0x77));
   for (auto _ : state) {
-    common::Bytes wire = data.encode();
-    benchmark::DoNotOptimize(
-        ndn::Data::decode(common::BytesView(wire.data(), wire.size())));
+    data.set_freshness(freshness);  // invalidate the wire cache
+    common::BufferSlice wire = data.wire();
+    benchmark::DoNotOptimize(ndn::Data::decode(wire));
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
 }
 BENCHMARK(BM_DataEncodeDecode_1KB);
+
+static void BM_DataForwardZeroCopy_1KB(benchmark::State& state) {
+  // The forward path: decode an incoming frame, re-send the cached wire.
+  ndn::Data data(ndn::Name("/collection-1533783192/file-3/177"));
+  data.set_content(common::Bytes(1024, 0x77));
+  common::BufferSlice frame = data.wire();
+  for (auto _ : state) {
+    auto decoded = ndn::Data::decode(frame);
+    benchmark::DoNotOptimize(decoded->wire());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_DataForwardZeroCopy_1KB);
 
 static void BM_BitmapEncodeDecode(benchmark::State& state) {
   core::Bitmap bm(static_cast<size_t>(state.range(0)));

@@ -28,15 +28,14 @@ common::BytesView str_view(const std::string& s) {
 
 common::Bytes DiscoveryMessage::encode() const {
   using namespace ndn::tlv;
-  common::Bytes out;
-  append_tlv(out, kPeerId, str_view(peer_id));
+  Writer w;
+  w.tlv(kPeerId, str_view(peer_id));
   for (const auto& name : metadata_names) {
-    common::Bytes name_bytes;
-    ndn::append_name(name_bytes, name);
-    append_tlv(out, kMetadataName,
-               common::BytesView(name_bytes.data(), name_bytes.size()));
+    auto nested = w.begin(kMetadataName);
+    ndn::append_name(w, name);
+    w.end(nested);
   }
-  return out;
+  return w.take();
 }
 
 std::optional<DiscoveryMessage> DiscoveryMessage::decode(
@@ -70,25 +69,24 @@ std::optional<DiscoveryMessage> DiscoveryMessage::decode(
 
 common::Bytes BitmapMessage::encode() const {
   using namespace ndn::tlv;
-  common::Bytes out;
-  append_tlv(out, kPeerId, str_view(peer_id));
+  Writer w;
+  w.tlv(kPeerId, str_view(peer_id));
 
-  common::Bytes name_bytes;
-  ndn::append_name(name_bytes, collection);
-  append_tlv(out, kCollectionName,
-             common::BytesView(name_bytes.data(), name_bytes.size()));
-  append_tlv_number(out, kRound, round);
+  auto coll = w.begin(kCollectionName);
+  ndn::append_name(w, collection);
+  w.end(coll);
+  w.tlv_number(kRound, round);
 
   for (const auto& f : layout) {
-    common::Bytes entry;
-    append_tlv(entry, kLayoutFileName, str_view(f.name));
-    append_tlv_number(entry, kLayoutPacketCount, f.packet_count);
-    append_tlv(out, kLayoutEntry, common::BytesView(entry.data(), entry.size()));
+    auto entry = w.begin(kLayoutEntry);
+    w.tlv(kLayoutFileName, str_view(f.name));
+    w.tlv_number(kLayoutPacketCount, f.packet_count);
+    w.end(entry);
   }
 
   common::Bytes bits = bitmap.encode();
-  append_tlv(out, kBitmapBits, common::BytesView(bits.data(), bits.size()));
-  return out;
+  w.tlv(kBitmapBits, common::BytesView(bits.data(), bits.size()));
+  return w.take();
 }
 
 std::optional<BitmapMessage> BitmapMessage::decode(common::BytesView wire) {

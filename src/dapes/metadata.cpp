@@ -50,31 +50,29 @@ size_t Metadata::total_packets() const {
 
 common::Bytes Metadata::encode() const {
   using namespace ndn::tlv;
-  common::Bytes out;
-  append_tlv_number(out, kFormat, static_cast<uint64_t>(format_));
+  Writer w;
+  w.tlv_number(kFormat, static_cast<uint64_t>(format_));
 
-  common::Bytes name_bytes;
-  ndn::append_name(name_bytes, collection_);
-  append_tlv(out, kCollectionName,
-             common::BytesView(name_bytes.data(), name_bytes.size()));
+  auto coll = w.begin(kCollectionName);
+  ndn::append_name(w, collection_);
+  w.end(coll);
 
   for (const auto& f : files_) {
-    common::Bytes entry;
-    append_tlv(entry, kFileName,
-               common::BytesView(
-                   reinterpret_cast<const uint8_t*>(f.name.data()),
-                   f.name.size()));
-    append_tlv_number(entry, kPacketCount, f.packet_count);
+    auto entry = w.begin(kFileEntry);
+    w.tlv(kFileName,
+          common::BytesView(reinterpret_cast<const uint8_t*>(f.name.data()),
+                            f.name.size()));
+    w.tlv_number(kPacketCount, f.packet_count);
     if (format_ == MetadataFormat::kPacketDigest) {
       for (const auto& d : f.packet_digests) {
-        append_tlv(entry, kPacketDigest, d.view());
+        w.tlv(kPacketDigest, d.view());
       }
     } else if (f.merkle_root) {
-      append_tlv(entry, kMerkleRoot, f.merkle_root->view());
+      w.tlv(kMerkleRoot, f.merkle_root->view());
     }
-    append_tlv(out, kFileEntry, common::BytesView(entry.data(), entry.size()));
+    w.end(entry);
   }
-  return out;
+  return w.take();
 }
 
 std::optional<Metadata> Metadata::decode(common::BytesView wire) {

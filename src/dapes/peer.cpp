@@ -279,8 +279,7 @@ void Peer::handle_discovery_interest(const ndn::Interest& interest) {
 }
 
 void Peer::handle_discovery_data(const ndn::Data& data) {
-  auto msg = DiscoveryMessage::decode(
-      common::BytesView(data.content().data(), data.content().size()));
+  auto msg = DiscoveryMessage::decode(data.content());
   if (!msg || msg->peer_id == options_.id) return;
   bool fresh_encounter = touch_neighbor(msg->peer_id);
   NeighborInfo& info = neighbors_[msg->peer_id];
@@ -368,9 +367,9 @@ void Peer::handle_metadata_segment(DownloadState& st, const ndn::Data& data) {
     return;
   }
 
-  st.metadata_segments[*seq] = data.content();
-  size_t total = Metadata::segment_count_of(
-      common::BytesView(data.content().data(), data.content().size()));
+  st.metadata_segments[*seq] = common::Bytes(data.content().begin(),
+                                             data.content().end());
+  size_t total = Metadata::segment_count_of(data.content());
   if (total == 0) return;
   const bool total_was_unknown = st.metadata_total_segments == 0;
   st.metadata_total_segments = total;
@@ -663,9 +662,8 @@ void Peer::handle_collection_data(const ndn::Data& data) {
       break;
     }
   }
-  auto verdict = st->metadata->verify_packet(
-      file_index, parts->seq,
-      common::BytesView(data.content().data(), data.content().size()));
+  auto verdict = st->metadata->verify_packet(file_index, parts->seq,
+                                              data.content());
   if (verdict.has_value() && !*verdict) {
     ++stats_.integrity_failures;
     pump_fetch(collection);
@@ -730,8 +728,7 @@ void Peer::on_overheard_interest(const ndn::Interest& interest) {
   if (name.size() >= 2 && name[0].to_string() == kAppPrefix &&
       name[1].to_string() == kBitmapComponent &&
       interest.has_app_parameters()) {
-    auto msg = BitmapMessage::decode(common::BytesView(
-        interest.app_parameters().data(), interest.app_parameters().size()));
+    auto msg = BitmapMessage::decode(interest.app_parameters());
     if (msg) handle_bitmap_message(*msg);
   }
 }

@@ -132,8 +132,7 @@ void DapesIntermediateStrategy::on_overhear_interest(Forwarder& /*fw*/,
       name[1].to_string() != kBitmapComponent) {
     return;
   }
-  auto msg = BitmapMessage::decode(common::BytesView(
-      interest.app_parameters().data(), interest.app_parameters().size()));
+  auto msg = BitmapMessage::decode(interest.app_parameters());
   if (msg) learn_bitmap(*msg, sched_.now());
 }
 

@@ -1,23 +1,27 @@
 #include "ip/packet.hpp"
 
+#include "ndn/tlv.hpp"
+
 namespace dapes::ip {
 
+// IP-lite is a fixed-layout header, not TLV, but it is built through the
+// same tlv::Writer primitives as every other wire format in the repo.
 common::Bytes Packet::encode() const {
-  common::Bytes out;
-  out.push_back(kMagic);
-  out.push_back(static_cast<uint8_t>(proto));
-  out.push_back(ttl);
-  out.push_back(route_pos);
-  common::append_be(out, src, 4);
-  common::append_be(out, dst, 4);
-  common::append_be(out, next_hop, 4);
-  common::append_be(out, route.size(), 2);
+  ndn::tlv::Writer w(22 + route.size() * 4 + payload.size());
+  w.byte(kMagic);
+  w.byte(static_cast<uint8_t>(proto));
+  w.byte(ttl);
+  w.byte(route_pos);
+  w.be(src, 4);
+  w.be(dst, 4);
+  w.be(next_hop, 4);
+  w.be(route.size(), 2);
   for (Address hop : route) {
-    common::append_be(out, hop, 4);
+    w.be(hop, 4);
   }
-  common::append_be(out, payload.size(), 4);
-  out.insert(out.end(), payload.begin(), payload.end());
-  return out;
+  w.be(payload.size(), 4);
+  w.raw(common::BytesView(payload.data(), payload.size()));
+  return w.take();
 }
 
 std::optional<Packet> Packet::decode(common::BytesView wire) {

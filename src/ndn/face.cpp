@@ -7,7 +7,7 @@ namespace dapes::ndn {
 void WifiFace::send_interest(const Interest& interest) {
   auto frame = std::make_shared<sim::Frame>();
   frame->sender = node_;
-  frame->payload = interest.encode();
+  frame->payload = interest.wire();  // shares the cached encoding
   frame->kind = "ndn-interest";
   ++interests_sent_;
   sim::Radio::SendCompleteCallback cb;
@@ -23,7 +23,7 @@ void WifiFace::send_data(const Data& data) {
     ++data_sent_;
     auto frame = std::make_shared<sim::Frame>();
     frame->sender = node_;
-    frame->payload = data.encode();
+    frame->payload = data.wire();  // cached: forwarding never re-serializes
     frame->kind = "ndn-data";
     radio_.send(std::move(frame));
     return;
@@ -46,7 +46,7 @@ void WifiFace::transmit_data(const Name& name) {
   ++data_sent_;
   auto frame = std::make_shared<sim::Frame>();
   frame->sender = node_;
-  frame->payload = data.encode();
+  frame->payload = data.wire();
   frame->kind = "ndn-data";
   radio_.send(std::move(frame));
 }
@@ -54,29 +54,34 @@ void WifiFace::transmit_data(const Name& name) {
 void WifiFace::on_frame(const sim::FramePtr& frame) {
   const auto& payload = frame->payload;
   if (payload.empty()) return;
-  try {
-    tlv::Reader reader(common::BytesView(payload.data(), payload.size()));
-    uint64_t type = reader.peek_type();
-    if (type == tlv::kInterest) {
-      deliver_interest(Interest::decode(
-          common::BytesView(payload.data(), payload.size())));
-    } else if (type == tlv::kData) {
-      Data data =
-          Data::decode(common::BytesView(payload.data(), payload.size()));
-      // Suppress our own pending transmission of the same Data: someone
-      // else answered first.
-      auto it = pending_data_.find(data.name());
-      if (it != pending_data_.end()) {
-        sched_.cancel(it->second.second);
-        pending_data_.erase(it);
-        ++data_suppressed_;
-      }
-      deliver_data(data);
+  // The NDN packet types (0x05/0x06) encode as a single leading byte, so
+  // foreign frames (IP baselines) are skipped without any parsing.
+  const uint8_t type = payload[0];
+  if (type == tlv::kInterest) {
+    // One decode per received frame: the Interest's wire cache and
+    // ApplicationParameters are views into the frame's shared buffer.
+    if (auto interest = Interest::decode(payload)) {
+      deliver_interest(*interest);
+    } else {
+      DAPES_LOG_DEBUG("wifi-face") << "undecodable interest frame";
     }
-    // Other frame types (IP baselines) are not ours; ignore.
-  } catch (const tlv::ParseError& e) {
-    DAPES_LOG_DEBUG("wifi-face") << "undecodable frame: " << e.what();
+  } else if (type == tlv::kData) {
+    auto data = Data::decode(payload);
+    if (!data) {
+      DAPES_LOG_DEBUG("wifi-face") << "undecodable data frame";
+      return;
+    }
+    // Suppress our own pending transmission of the same Data: someone
+    // else answered first.
+    auto it = pending_data_.find(data->name());
+    if (it != pending_data_.end()) {
+      sched_.cancel(it->second.second);
+      pending_data_.erase(it);
+      ++data_suppressed_;
+    }
+    deliver_data(*data);
   }
+  // Other frame types (IP baselines) are not ours; ignore.
 }
 
 }  // namespace dapes::ndn

@@ -10,13 +10,18 @@ constexpr uint64_t kSignatureTypeDapesMac = 200;  // private-use value
 
 }  // namespace
 
-void append_name(Bytes& out, const Name& name) {
-  Bytes inner;
+CodecCounters& codec_counters() {
+  static CodecCounters counters;
+  return counters;
+}
+
+void append_name(tlv::Writer& w, const Name& name) {
+  auto nested = w.begin(tlv::kName);
   for (const auto& c : name.components()) {
-    tlv::append_tlv(inner, tlv::kGenericNameComponent,
-                    BytesView(c.value().data(), c.value().size()));
+    w.tlv(tlv::kGenericNameComponent,
+          BytesView(c.value().data(), c.value().size()));
   }
-  tlv::append_tlv(out, tlv::kName, BytesView(inner.data(), inner.size()));
+  w.end(nested);
 }
 
 Name parse_name(BytesView value) {
@@ -32,174 +37,186 @@ Name parse_name(BytesView value) {
   return name;
 }
 
-Bytes Interest::encode() const {
-  Bytes inner;
-  append_name(inner, name_);
+const BufferSlice& Interest::wire() const {
+  if (!wire_.empty()) {
+    codec_counters().wire_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return wire_;
+  }
+  codec_counters().interest_encodes.fetch_add(1, std::memory_order_relaxed);
+  tlv::Writer w(64 + app_parameters_.size());
+  auto packet = w.begin(tlv::kInterest);
+  append_name(w, name_);
   if (can_be_prefix_) {
-    tlv::append_tlv(inner, tlv::kCanBePrefix, {});
+    w.tlv(tlv::kCanBePrefix, {});
   }
-  Bytes nonce_bytes;
-  common::append_be(nonce_bytes, nonce_, 4);
-  tlv::append_tlv(inner, tlv::kNonce,
-                  BytesView(nonce_bytes.data(), nonce_bytes.size()));
-  tlv::append_tlv_number(inner, tlv::kInterestLifetime,
-                         static_cast<uint64_t>(lifetime_.to_milliseconds()));
-  Bytes hop;
-  hop.push_back(hop_limit_);
-  tlv::append_tlv(inner, tlv::kHopLimit, BytesView(hop.data(), hop.size()));
+  auto nonce = w.begin(tlv::kNonce);
+  w.be(nonce_, 4);
+  w.end(nonce);
+  w.tlv_number(tlv::kInterestLifetime,
+               static_cast<uint64_t>(lifetime_.to_milliseconds()));
+  auto hop = w.begin(tlv::kHopLimit);
+  w.byte(hop_limit_);
+  w.end(hop);
   if (!app_parameters_.empty()) {
-    tlv::append_tlv(inner, tlv::kApplicationParameters,
-                    BytesView(app_parameters_.data(), app_parameters_.size()));
+    w.tlv(tlv::kApplicationParameters, app_parameters_.view());
   }
-
-  Bytes wire;
-  tlv::append_tlv(wire, tlv::kInterest, BytesView(inner.data(), inner.size()));
-  return wire;
+  w.end(packet);
+  wire_ = w.finish();
+  return wire_;
 }
 
-Interest Interest::decode(BytesView wire) {
-  tlv::Reader outer(wire);
-  auto packet = outer.expect(tlv::kInterest);
+std::optional<Interest> Interest::decode(BufferSlice wire) {
+  codec_counters().interest_decodes.fetch_add(1, std::memory_order_relaxed);
+  try {
+    tlv::Reader outer(wire);
+    auto packet = outer.expect(tlv::kInterest);
 
-  Interest interest;
-  tlv::Reader reader(packet.value);
-  auto name_el = reader.expect(tlv::kName);
-  interest.name_ = parse_name(name_el.value);
+    Interest interest;
+    tlv::Reader reader(packet.value);
+    auto name_el = reader.expect(tlv::kName);
+    interest.name_ = parse_name(name_el.value);
 
-  while (!reader.at_end()) {
-    auto e = reader.read_element();
-    switch (e.type) {
-      case tlv::kCanBePrefix:
-        interest.can_be_prefix_ = true;
-        break;
-      case tlv::kNonce:
-        if (e.value.size() != 4) throw tlv::ParseError("interest: bad nonce");
-        interest.nonce_ =
-            static_cast<uint32_t>(common::read_be(e.value, 0, 4));
-        break;
-      case tlv::kInterestLifetime:
-        interest.lifetime_ =
-            Duration::milliseconds(static_cast<int64_t>(tlv::parse_number(e.value)));
-        break;
-      case tlv::kHopLimit:
-        if (e.value.size() != 1) throw tlv::ParseError("interest: bad hop limit");
-        interest.hop_limit_ = e.value[0];
-        break;
-      case tlv::kApplicationParameters:
-        interest.app_parameters_.assign(e.value.begin(), e.value.end());
-        break;
-      default:
-        break;  // ignore unknown elements (forward-compatible)
+    while (!reader.at_end()) {
+      auto e = reader.read_element();
+      switch (e.type) {
+        case tlv::kCanBePrefix:
+          interest.can_be_prefix_ = true;
+          break;
+        case tlv::kNonce:
+          if (e.value.size() != 4) return std::nullopt;
+          interest.nonce_ =
+              static_cast<uint32_t>(common::read_be(e.value, 0, 4));
+          break;
+        case tlv::kInterestLifetime:
+          interest.lifetime_ = Duration::milliseconds(
+              static_cast<int64_t>(tlv::parse_number(e.value)));
+          break;
+        case tlv::kHopLimit:
+          if (e.value.size() != 1) return std::nullopt;
+          interest.hop_limit_ = e.value[0];
+          break;
+        case tlv::kApplicationParameters:
+          interest.app_parameters_ = e.value;  // zero-copy view
+          break;
+        default:
+          break;  // ignore unknown elements (forward-compatible)
+      }
     }
+    // Cache exactly the Interest TLV extent (trailing bytes excluded).
+    interest.wire_ = wire.subslice(0, outer.offset());
+    return interest;
+  } catch (const tlv::ParseError&) {
+    return std::nullopt;
   }
-  return interest;
 }
 
 void Data::sign(const crypto::PrivateKey& key) {
-  signature_ = key.sign(name_.to_uri(),
-                        BytesView(content_.data(), content_.size()));
+  signature_ = key.sign(name_.to_uri(), content_.view());
+  invalidate_wire();
 }
 
 bool Data::verify(const crypto::KeyChain& keychain) const {
   if (!signature_) return false;
-  return keychain.verify(name_.to_uri(),
-                         BytesView(content_.data(), content_.size()),
-                         *signature_);
+  return keychain.verify(name_.to_uri(), content_.view(), *signature_);
 }
 
 crypto::Digest Data::content_digest() const {
-  return crypto::Sha256::hash(BytesView(content_.data(), content_.size()));
+  return crypto::Sha256::hash(content_.view());
 }
 
-Bytes Data::encode() const {
-  Bytes inner;
-  append_name(inner, name_);
+const BufferSlice& Data::wire() const {
+  if (!wire_.empty()) {
+    codec_counters().wire_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return wire_;
+  }
+  codec_counters().data_encodes.fetch_add(1, std::memory_order_relaxed);
+  tlv::Writer w(96 + content_.size());
+  auto packet = w.begin(tlv::kData);
+  append_name(w, name_);
 
-  Bytes meta;
-  tlv::append_tlv_number(meta, tlv::kFreshnessPeriod,
-                         static_cast<uint64_t>(freshness_.to_milliseconds()));
-  tlv::append_tlv(inner, tlv::kMetaInfo, BytesView(meta.data(), meta.size()));
+  auto meta = w.begin(tlv::kMetaInfo);
+  w.tlv_number(tlv::kFreshnessPeriod,
+               static_cast<uint64_t>(freshness_.to_milliseconds()));
+  w.end(meta);
 
-  tlv::append_tlv(inner, tlv::kContent,
-                  BytesView(content_.data(), content_.size()));
+  w.tlv(tlv::kContent, content_.view());
 
   if (signature_) {
-    Bytes sig_info;
-    tlv::append_tlv_number(sig_info, tlv::kSignatureType, kSignatureTypeDapesMac);
-    tlv::append_tlv(sig_info, tlv::kKeyLocator,
-                    signature_->signer.id.view());
-    tlv::append_tlv(inner, tlv::kSignatureInfo,
-                    BytesView(sig_info.data(), sig_info.size()));
-    tlv::append_tlv(inner, tlv::kSignatureValue, signature_->mac.view());
+    auto sig_info = w.begin(tlv::kSignatureInfo);
+    w.tlv_number(tlv::kSignatureType, kSignatureTypeDapesMac);
+    w.tlv(tlv::kKeyLocator, signature_->signer.id.view());
+    w.end(sig_info);
+    w.tlv(tlv::kSignatureValue, signature_->mac.view());
   }
-
-  Bytes wire;
-  tlv::append_tlv(wire, tlv::kData, BytesView(inner.data(), inner.size()));
-  return wire;
+  w.end(packet);
+  wire_ = w.finish();
+  return wire_;
 }
 
-Data Data::decode(BytesView wire) {
-  tlv::Reader outer(wire);
-  auto packet = outer.expect(tlv::kData);
+std::optional<Data> Data::decode(BufferSlice wire) {
+  codec_counters().data_decodes.fetch_add(1, std::memory_order_relaxed);
+  try {
+    tlv::Reader outer(wire);
+    auto packet = outer.expect(tlv::kData);
 
-  Data data;
-  tlv::Reader reader(packet.value);
-  auto name_el = reader.expect(tlv::kName);
-  data.name_ = parse_name(name_el.value);
+    Data data;
+    tlv::Reader reader(packet.value);
+    auto name_el = reader.expect(tlv::kName);
+    data.name_ = parse_name(name_el.value);
 
-  std::optional<crypto::KeyId> signer;
-  std::optional<crypto::Digest> mac;
+    std::optional<crypto::KeyId> signer;
+    std::optional<crypto::Digest> mac;
 
-  while (!reader.at_end()) {
-    auto e = reader.read_element();
-    switch (e.type) {
-      case tlv::kMetaInfo: {
-        tlv::Reader meta(e.value);
-        while (!meta.at_end()) {
-          auto m = meta.read_element();
-          if (m.type == tlv::kFreshnessPeriod) {
-            data.freshness_ = Duration::milliseconds(
-                static_cast<int64_t>(tlv::parse_number(m.value)));
-          }
-        }
-        break;
-      }
-      case tlv::kContent:
-        data.content_.assign(e.value.begin(), e.value.end());
-        break;
-      case tlv::kSignatureInfo: {
-        tlv::Reader info(e.value);
-        while (!info.at_end()) {
-          auto m = info.read_element();
-          if (m.type == tlv::kKeyLocator) {
-            if (m.value.size() != 32) {
-              throw tlv::ParseError("data: bad key locator");
+    while (!reader.at_end()) {
+      auto e = reader.read_element();
+      switch (e.type) {
+        case tlv::kMetaInfo: {
+          tlv::Reader meta(e.value);
+          while (!meta.at_end()) {
+            auto m = meta.read_element();
+            if (m.type == tlv::kFreshnessPeriod) {
+              data.freshness_ = Duration::milliseconds(
+                  static_cast<int64_t>(tlv::parse_number(m.value)));
             }
-            crypto::KeyId id;
-            std::memcpy(id.id.bytes.data(), m.value.data(), 32);
-            signer = id;
           }
+          break;
         }
-        break;
-      }
-      case tlv::kSignatureValue: {
-        if (e.value.size() != 32) {
-          throw tlv::ParseError("data: bad signature value");
+        case tlv::kContent:
+          data.content_ = e.value;  // zero-copy view into the frame
+          break;
+        case tlv::kSignatureInfo: {
+          tlv::Reader info(e.value);
+          while (!info.at_end()) {
+            auto m = info.read_element();
+            if (m.type == tlv::kKeyLocator) {
+              if (m.value.size() != 32) return std::nullopt;
+              crypto::KeyId id;
+              std::memcpy(id.id.bytes.data(), m.value.data(), 32);
+              signer = id;
+            }
+          }
+          break;
         }
-        crypto::Digest d;
-        std::memcpy(d.bytes.data(), e.value.data(), 32);
-        mac = d;
-        break;
+        case tlv::kSignatureValue: {
+          if (e.value.size() != 32) return std::nullopt;
+          crypto::Digest d;
+          std::memcpy(d.bytes.data(), e.value.data(), 32);
+          mac = d;
+          break;
+        }
+        default:
+          break;
       }
-      default:
-        break;
     }
-  }
 
-  if (signer && mac) {
-    data.signature_ = crypto::Signature{*signer, *mac};
+    if (signer && mac) {
+      data.signature_ = crypto::Signature{*signer, *mac};
+    }
+    data.wire_ = wire.subslice(0, outer.offset());
+    return data;
+  } catch (const tlv::ParseError&) {
+    return std::nullopt;
   }
-  return data;
 }
 
 }  // namespace dapes::ndn

@@ -5,11 +5,24 @@
 // content to names so receivers can reason about provenance (§I). The
 // signature here is the KeyChain MAC scheme documented in
 // crypto/keychain.hpp.
+//
+// Both packet classes follow the cached-wire Block idiom from the NDN
+// ecosystem:
+//   * decode() keeps the source BufferSlice alive and stores large fields
+//     (Content, ApplicationParameters) as zero-copy views into it;
+//   * wire() returns the cached encoding — forwarding an unmodified
+//     packet never re-serializes, and every in-range receiver of one
+//     broadcast frame parses views into the same shared buffer;
+//   * every mutator invalidates the cache.
+// Wire decode entry points are non-throwing: they return std::nullopt on
+// malformed input (the TLV Reader's ParseError stays internal).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
+#include "common/buffer.hpp"
 #include "common/bytes.hpp"
 #include "common/time.hpp"
 #include "crypto/keychain.hpp"
@@ -18,9 +31,30 @@
 
 namespace dapes::ndn {
 
+using common::BufferSlice;
 using common::Bytes;
 using common::BytesView;
 using common::Duration;
+
+/// Process-wide codec instrumentation: counts actual (de)serializations
+/// so tests and benches can assert the zero-copy invariants (one encode
+/// per broadcast, one decode per receiving node, cache hits on forward).
+struct CodecCounters {
+  std::atomic<uint64_t> interest_encodes{0};
+  std::atomic<uint64_t> data_encodes{0};
+  std::atomic<uint64_t> interest_decodes{0};
+  std::atomic<uint64_t> data_decodes{0};
+  /// wire() calls answered from the cache without re-serializing.
+  std::atomic<uint64_t> wire_cache_hits{0};
+
+  void reset() {
+    interest_encodes = data_encodes = 0;
+    interest_decodes = data_decodes = 0;
+    wire_cache_hits = 0;
+  }
+};
+
+CodecCounters& codec_counters();
 
 class Interest {
  public:
@@ -28,36 +62,78 @@ class Interest {
   explicit Interest(Name name) : name_(std::move(name)) {}
 
   const Name& name() const { return name_; }
-  void set_name(Name name) { name_ = std::move(name); }
+  void set_name(Name name) {
+    name_ = std::move(name);
+    invalidate_wire();
+  }
 
   uint32_t nonce() const { return nonce_; }
-  void set_nonce(uint32_t nonce) { nonce_ = nonce; }
+  void set_nonce(uint32_t nonce) {
+    nonce_ = nonce;
+    invalidate_wire();
+  }
 
   bool can_be_prefix() const { return can_be_prefix_; }
-  void set_can_be_prefix(bool v) { can_be_prefix_ = v; }
+  void set_can_be_prefix(bool v) {
+    can_be_prefix_ = v;
+    invalidate_wire();
+  }
 
   Duration lifetime() const { return lifetime_; }
-  void set_lifetime(Duration d) { lifetime_ = d; }
+  void set_lifetime(Duration d) {
+    lifetime_ = d;
+    invalidate_wire();
+  }
 
   uint8_t hop_limit() const { return hop_limit_; }
-  void set_hop_limit(uint8_t h) { hop_limit_ = h; }
+  void set_hop_limit(uint8_t h) {
+    hop_limit_ = h;
+    invalidate_wire();
+  }
 
-  const Bytes& app_parameters() const { return app_parameters_; }
-  void set_app_parameters(Bytes params) { app_parameters_ = std::move(params); }
+  BytesView app_parameters() const { return app_parameters_.view(); }
+  void set_app_parameters(Bytes params) {
+    app_parameters_ = BufferSlice(std::move(params));
+    invalidate_wire();
+  }
+  void set_app_parameters(BufferSlice params) {
+    app_parameters_ = std::move(params);
+    invalidate_wire();
+  }
   bool has_app_parameters() const { return !app_parameters_.empty(); }
 
-  Bytes encode() const;
-  static Interest decode(BytesView wire);
+  /// The cached wire encoding; serialized at most once per mutation.
+  const BufferSlice& wire() const;
+  bool has_wire() const { return !wire_.empty(); }
 
-  bool operator==(const Interest&) const = default;
+  /// Deep-copy convenience (build-side compat; hot paths use wire()).
+  Bytes encode() const { return wire().to_bytes(); }
+
+  /// Parse from a shared buffer. The returned Interest keeps @p wire
+  /// alive: its wire cache and ApplicationParameters are views into it.
+  static std::optional<Interest> decode(BufferSlice wire);
+  /// Parse from borrowed bytes (copied into owned storage first).
+  static std::optional<Interest> decode(BytesView wire) {
+    return decode(BufferSlice::copy_of(wire));
+  }
+
+  bool operator==(const Interest& other) const {
+    return name_ == other.name_ && nonce_ == other.nonce_ &&
+           can_be_prefix_ == other.can_be_prefix_ &&
+           lifetime_ == other.lifetime_ && hop_limit_ == other.hop_limit_ &&
+           common::equal(app_parameters(), other.app_parameters());
+  }
 
  private:
+  void invalidate_wire() { wire_ = BufferSlice(); }
+
   Name name_;
   uint32_t nonce_ = 0;
   bool can_be_prefix_ = false;
   Duration lifetime_ = Duration::milliseconds(4000);
   uint8_t hop_limit_ = 32;
-  Bytes app_parameters_;
+  BufferSlice app_parameters_;
+  mutable BufferSlice wire_;
 };
 
 class Data {
@@ -66,13 +142,26 @@ class Data {
   explicit Data(Name name) : name_(std::move(name)) {}
 
   const Name& name() const { return name_; }
-  void set_name(Name name) { name_ = std::move(name); }
+  void set_name(Name name) {
+    name_ = std::move(name);
+    invalidate_wire();
+  }
 
-  const Bytes& content() const { return content_; }
-  void set_content(Bytes content) { content_ = std::move(content); }
+  BytesView content() const { return content_.view(); }
+  void set_content(Bytes content) {
+    content_ = BufferSlice(std::move(content));
+    invalidate_wire();
+  }
+  void set_content(BufferSlice content) {
+    content_ = std::move(content);
+    invalidate_wire();
+  }
 
   Duration freshness() const { return freshness_; }
-  void set_freshness(Duration d) { freshness_ = d; }
+  void set_freshness(Duration d) {
+    freshness_ = d;
+    invalidate_wire();
+  }
 
   const std::optional<crypto::Signature>& signature() const { return signature_; }
 
@@ -85,20 +174,39 @@ class Data {
   /// SHA-256 over the content (used by metadata digests and Merkle leaves).
   crypto::Digest content_digest() const;
 
-  Bytes encode() const;
-  static Data decode(BytesView wire);
+  /// The cached wire encoding; serialized at most once per mutation.
+  const BufferSlice& wire() const;
+  bool has_wire() const { return !wire_.empty(); }
 
-  bool operator==(const Data&) const = default;
+  /// Deep-copy convenience (build-side compat; hot paths use wire()).
+  Bytes encode() const { return wire().to_bytes(); }
+
+  /// Parse from a shared buffer. The returned Data keeps @p wire alive:
+  /// its wire cache and Content are views into it.
+  static std::optional<Data> decode(BufferSlice wire);
+  /// Parse from borrowed bytes (copied into owned storage first).
+  static std::optional<Data> decode(BytesView wire) {
+    return decode(BufferSlice::copy_of(wire));
+  }
+
+  bool operator==(const Data& other) const {
+    return name_ == other.name_ && freshness_ == other.freshness_ &&
+           signature_ == other.signature_ &&
+           common::equal(content(), other.content());
+  }
 
  private:
+  void invalidate_wire() { wire_ = BufferSlice(); }
+
   Name name_;
-  Bytes content_;
+  BufferSlice content_;
   Duration freshness_ = Duration::milliseconds(10000);
   std::optional<crypto::Signature> signature_;
+  mutable BufferSlice wire_;
 };
 
-/// Name TLV helpers shared by both packet codecs.
-void append_name(Bytes& out, const Name& name);
+/// Name TLV helpers shared by every codec that embeds names.
+void append_name(tlv::Writer& w, const Name& name);
 Name parse_name(BytesView value);
 
 }  // namespace dapes::ndn

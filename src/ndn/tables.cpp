@@ -2,34 +2,39 @@
 
 namespace dapes::ndn {
 
-void ContentStore::insert(const Data& data, TimePoint now) {
-  TimePoint expires = now + data.freshness();
-  auto it = entries_.find(data.name());
-  if (it != entries_.end()) {
-    it->second.expires = expires;
-    touch(data.name());
-    return;
-  }
+bool ContentStore::refresh(const Name& name, TimePoint expires) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  it->second.expires = expires;
+  touch(name);
+  return true;
+}
+
+void ContentStore::insert(DataPtr data, TimePoint now) {
+  if (!data) return;
+  if (refresh(data->name(), now + data->freshness())) return;
   if (entries_.size() >= capacity_) {
     evict_one();
   }
-  lru_.push_back(data.name());
+  TimePoint expires = now + data->freshness();
+  lru_.push_back(data->name());
   auto lru_it = std::prev(lru_.end());
-  content_bytes_ += data.content().size();
-  entries_.emplace(data.name(), Entry{data, expires, lru_it});
+  content_bytes_ += data->content().size();
+  Name name = data->name();
+  entries_.emplace(std::move(name), Entry{std::move(data), expires, lru_it});
 }
 
-std::optional<Data> ContentStore::find(const Name& name, bool can_be_prefix,
-                                       TimePoint now) {
+DataPtr ContentStore::find(const Name& name, bool can_be_prefix,
+                           TimePoint now) {
   auto expired = [&](const Entry& e) { return e.expires <= now; };
   if (!can_be_prefix) {
     auto it = entries_.find(name);
-    if (it == entries_.end()) return std::nullopt;
+    if (it == entries_.end()) return nullptr;
     if (expired(it->second)) {
-      content_bytes_ -= it->second.data.content().size();
+      content_bytes_ -= it->second.data->content().size();
       lru_.erase(it->second.lru_it);
       entries_.erase(it);
-      return std::nullopt;
+      return nullptr;
     }
     touch(name);
     return it->second.data;
@@ -39,7 +44,7 @@ std::optional<Data> ContentStore::find(const Name& name, bool can_be_prefix,
   auto it = entries_.lower_bound(name);
   while (it != entries_.end() && name.is_prefix_of(it->first)) {
     if (expired(it->second)) {
-      content_bytes_ -= it->second.data.content().size();
+      content_bytes_ -= it->second.data->content().size();
       lru_.erase(it->second.lru_it);
       it = entries_.erase(it);
       continue;
@@ -47,7 +52,7 @@ std::optional<Data> ContentStore::find(const Name& name, bool can_be_prefix,
     touch(it->first);
     return it->second.data;
   }
-  return std::nullopt;
+  return nullptr;
 }
 
 void ContentStore::touch(const Name& name) {
@@ -64,7 +69,7 @@ void ContentStore::evict_one() {
   lru_.pop_front();
   auto it = entries_.find(victim);
   if (it != entries_.end()) {
-    content_bytes_ -= it->second.data.content().size();
+    content_bytes_ -= it->second.data->content().size();
     entries_.erase(it);
   }
 }

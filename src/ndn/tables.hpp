@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_set>
@@ -24,21 +25,35 @@ namespace dapes::ndn {
 using FaceId = uint32_t;
 using common::TimePoint;
 
+/// Shared, immutable Data handle: the CS, the forwarding pipeline and
+/// application faces pass one decoded packet around by reference count —
+/// its content and cached wire stay views into the original frame buffer.
+using DataPtr = std::shared_ptr<const Data>;
+
 /// In-network cache of Data packets.
 ///
 /// Entries expire after the packet's FreshnessPeriod (short-lived data
 /// such as discovery responses must not be served stale); lookups skip
-/// and evict expired entries.
+/// and evict expired entries. Entries are shared DataPtr handles: caching
+/// never deep-copies content or wire bytes.
 class ContentStore {
  public:
   explicit ContentStore(size_t capacity = 4096) : capacity_(capacity) {}
 
   /// Insert (or refresh) a Data packet, stamped with the current time.
-  void insert(const Data& data, TimePoint now = TimePoint::zero());
+  /// A new entry wraps the Data into a shared handle (a cheap,
+  /// slice-sharing copy of the packet struct — not of its bytes); a
+  /// refresh of an existing name allocates nothing.
+  void insert(const Data& data, TimePoint now = TimePoint::zero()) {
+    if (refresh(data.name(), now + data.freshness())) return;
+    insert(std::make_shared<const Data>(data), now);
+  }
+  void insert(DataPtr data, TimePoint now = TimePoint::zero());
 
   /// Exact-name lookup; @p can_be_prefix widens to "any data under name".
-  std::optional<Data> find(const Name& name, bool can_be_prefix = false,
-                           TimePoint now = TimePoint::zero());
+  /// Returns a shared handle (nullptr on miss).
+  DataPtr find(const Name& name, bool can_be_prefix = false,
+               TimePoint now = TimePoint::zero());
 
   bool contains(const Name& name) const { return entries_.contains(name); }
   size_t size() const { return entries_.size(); }
@@ -49,11 +64,13 @@ class ContentStore {
   size_t content_bytes() const { return content_bytes_; }
 
  private:
+  /// Bump an existing entry's expiry + LRU position; false on miss.
+  bool refresh(const Name& name, TimePoint expires);
   void touch(const Name& name);
   void evict_one();
 
   struct Entry {
-    Data data;
+    DataPtr data;
     TimePoint expires{};
     std::list<Name>::iterator lru_it;
   };

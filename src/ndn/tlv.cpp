@@ -38,6 +38,28 @@ void append_tlv_number(common::Bytes& out, uint64_t type, uint64_t value) {
   common::append_be(out, value, width);
 }
 
+Writer::Nested Writer::begin(uint64_t type) {
+  append_varnum(out_, type);
+  out_.push_back(0);  // length placeholder, patched in end()
+  return Nested{out_.size() - 1};
+}
+
+void Writer::end(Nested nested) {
+  const size_t length = out_.size() - nested.length_pos - 1;
+  if (length < 253) {
+    out_[nested.length_pos] = static_cast<uint8_t>(length);
+    return;
+  }
+  // Rare: the one-byte reservation is too small; splice in the wide
+  // varnum. Outer Nested handles point before this position, so they
+  // stay valid (their lengths are computed from the final size).
+  common::Bytes varnum_bytes;
+  append_varnum(varnum_bytes, length);
+  out_[nested.length_pos] = varnum_bytes[0];
+  out_.insert(out_.begin() + static_cast<ptrdiff_t>(nested.length_pos) + 1,
+              varnum_bytes.begin() + 1, varnum_bytes.end());
+}
+
 uint64_t Reader::read_varnum() {
   if (offset_ >= data_.size()) throw ParseError("tlv: truncated varnum");
   uint8_t first = data_[offset_++];
@@ -47,7 +69,7 @@ uint64_t Reader::read_varnum() {
   else if (first == 0xfe) extra = 4;
   else extra = 8;
   if (offset_ + extra > data_.size()) throw ParseError("tlv: truncated varnum");
-  uint64_t value = common::read_be(data_, offset_, extra);
+  uint64_t value = common::read_be(data_.view(), offset_, extra);
   offset_ += extra;
   return value;
 }
@@ -62,10 +84,10 @@ uint64_t Reader::peek_type() {
 Reader::Element Reader::read_element() {
   uint64_t type = read_varnum();
   uint64_t length = read_varnum();
-  if (offset_ + length > data_.size()) {
+  if (length > data_.size() || offset_ + length > data_.size()) {
     throw ParseError("tlv: element length exceeds buffer");
   }
-  Element e{type, data_.subspan(offset_, length)};
+  Element e{type, data_.subslice(offset_, length)};
   offset_ += length;
   return e;
 }

@@ -2,13 +2,22 @@
 //
 // Type and Length use the NDN variable-size number encoding: one byte for
 // values < 253, 0xFD + 2 bytes, 0xFE + 4 bytes, 0xFF + 8 bytes. This codec
-// is shared by Interest/Data wire encoding and by DAPES metadata payloads.
+// is shared by Interest/Data wire encoding, DAPES control/metadata
+// payloads, and (for its raw primitives) the IP-lite packet codec — there
+// is exactly one encoding idiom in the repo:
+//
+//   * `Writer` builds an encoding into a single growing buffer with
+//     back-patched lengths for nested elements (no intermediate vectors),
+//     then freezes it into a shared `BufferSlice` via `finish()`.
+//   * `Reader` walks an encoding and yields elements as `BufferSlice`
+//     sub-views that keep the source buffer alive — decoding is zero-copy.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
 
+#include "common/buffer.hpp"
 #include "common/bytes.hpp"
 
 namespace dapes::ndn::tlv {
@@ -39,7 +48,7 @@ struct ParseError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Append a TLV variable-size number.
+/// Append a TLV variable-size number (primitive shared with Writer).
 void append_varnum(common::Bytes& out, uint64_t value);
 
 /// Append a full TLV element (type, length, value bytes).
@@ -49,10 +58,65 @@ void append_tlv(common::Bytes& out, uint64_t type, common::BytesView value);
 /// shortest big-endian form (NDN NonNegativeInteger).
 void append_tlv_number(common::Bytes& out, uint64_t type, uint64_t value);
 
-/// Incremental TLV reader over a byte view.
+/// Incremental encoder: every wire format in the repo is built through
+/// this one API. Nested elements are opened with begin() and back-patched
+/// on end(), so no intermediate per-element vectors are allocated.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(size_t reserve) { out_.reserve(reserve); }
+
+  // -- raw primitives (shared with non-TLV codecs like IP-lite) --------
+  void byte(uint8_t b) { out_.push_back(b); }
+  void be(uint64_t value, size_t width) { common::append_be(out_, value, width); }
+  void raw(common::BytesView bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+
+  // -- TLV ---------------------------------------------------------------
+  void varnum(uint64_t value) { append_varnum(out_, value); }
+  void tlv(uint64_t type, common::BytesView value) {
+    append_tlv(out_, type, value);
+  }
+  void tlv_number(uint64_t type, uint64_t value) {
+    append_tlv_number(out_, type, value);
+  }
+
+  /// Handle for an open nested element; pass to end().
+  struct Nested {
+    size_t length_pos = 0;
+  };
+
+  /// Open a nested TLV element: writes the type, reserves the length.
+  Nested begin(uint64_t type);
+
+  /// Close the innermost-opened element, back-patching its length.
+  /// Nested elements must be closed innermost-first.
+  void end(Nested nested);
+
+  size_t size() const { return out_.size(); }
+
+  /// Move the built bytes out (build side keeps mutable Bytes semantics).
+  common::Bytes take() { return std::move(out_); }
+
+  /// Freeze into an immutable shared buffer (the zero-copy handoff).
+  common::BufferSlice finish() {
+    return common::BufferSlice(common::Buffer::from(std::move(out_)));
+  }
+
+ private:
+  common::Bytes out_;
+};
+
+/// Incremental TLV reader. When constructed from a BufferSlice, the
+/// elements it yields are sub-slices sharing the source buffer; when
+/// constructed from a raw BytesView the elements are unowned views (the
+/// caller must keep the bytes alive).
 class Reader {
  public:
-  explicit Reader(common::BytesView data) : data_(data) {}
+  explicit Reader(common::BytesView data)
+      : data_(common::BufferSlice::unowned(data)) {}
+  explicit Reader(common::BufferSlice data) : data_(std::move(data)) {}
 
   bool at_end() const { return offset_ >= data_.size(); }
   size_t offset() const { return offset_; }
@@ -63,10 +127,10 @@ class Reader {
   /// Peek the type of the next element without consuming it.
   uint64_t peek_type();
 
-  /// Read the next element header and return its value as a sub-view.
+  /// Read the next element header and return its value as a sub-slice.
   struct Element {
     uint64_t type;
-    common::BytesView value;
+    common::BufferSlice value;
   };
   Element read_element();
 
@@ -78,7 +142,7 @@ class Reader {
   std::optional<Element> find(uint64_t type);
 
  private:
-  common::BytesView data_;
+  common::BufferSlice data_;
   size_t offset_ = 0;
 };
 

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "sim/mobility.hpp"
@@ -30,9 +31,14 @@ namespace dapes::sim {
 using NodeId = uint32_t;
 
 /// One frame on the air. The payload is opaque to the medium.
+///
+/// The payload is a ref-counted slice: the medium hands the *same* frame
+/// to every in-range receiver, and receivers that decode it keep views
+/// into this shared buffer instead of copying (see DESIGN.md "Wire &
+/// buffer architecture").
 struct Frame {
   NodeId sender = 0;
-  common::Bytes payload;
+  common::BufferSlice payload;
   /// Upper-layer tag used only for statistics (e.g. "interest", "data",
   /// "hello"). Never interpreted by the medium.
   std::string kind;

@@ -63,7 +63,9 @@ TEST_P(MetadataFormats, SegmentationRoundTrip) {
   auto packets = meta.to_packets(test_key(), /*segment_size=*/64);
   ASSERT_GT(packets.size(), 1u);  // forced multi-segment
   std::vector<Bytes> contents;
-  for (const auto& p : packets) contents.push_back(p.content());
+  for (const auto& p : packets) {
+    contents.emplace_back(p.content().begin(), p.content().end());
+  }
   auto rebuilt = Metadata::from_segments(contents);
   ASSERT_TRUE(rebuilt.has_value());
   EXPECT_EQ(*rebuilt, meta);

@@ -94,7 +94,7 @@ struct MediumTest : ::testing::Test {
   FramePtr frame(NodeId sender, size_t size = 100) {
     auto f = std::make_shared<Frame>();
     f->sender = sender;
-    f->payload.assign(size, 0xaa);
+    f->payload = common::Bytes(size, 0xaa);
     f->kind = "test";
     return f;
   }
@@ -260,7 +260,7 @@ TEST_F(MediumTest, RadioQueuesFifo) {
   for (uint8_t i = 0; i < 5; ++i) {
     auto f = std::make_shared<Frame>();
     f->sender = a;
-    f->payload = {i};
+    f->payload = common::Bytes{i};
     f->kind = "test";
     radio.send(std::move(f));
   }

@@ -19,18 +19,18 @@ Data make_data(const std::string& uri, const std::string& content = "x",
 TEST(ContentStore, ExactMatch) {
   ContentStore cs;
   cs.insert(make_data("/a/b/0"));
-  EXPECT_TRUE(cs.find(Name("/a/b/0")).has_value());
-  EXPECT_FALSE(cs.find(Name("/a/b/1")).has_value());
+  EXPECT_TRUE(cs.find(Name("/a/b/0")) != nullptr);
+  EXPECT_FALSE(cs.find(Name("/a/b/1")) != nullptr);
 }
 
 TEST(ContentStore, PrefixMatch) {
   ContentStore cs;
   cs.insert(make_data("/a/b/3"));
-  EXPECT_FALSE(cs.find(Name("/a/b")).has_value());
+  EXPECT_FALSE(cs.find(Name("/a/b")) != nullptr);
   auto hit = cs.find(Name("/a/b"), /*can_be_prefix=*/true);
-  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit != nullptr);
   EXPECT_EQ(hit->name().to_uri(), "/a/b/3");
-  EXPECT_FALSE(cs.find(Name("/a/c"), true).has_value());
+  EXPECT_FALSE(cs.find(Name("/a/c"), true) != nullptr);
 }
 
 TEST(ContentStore, LruEviction) {
@@ -39,7 +39,7 @@ TEST(ContentStore, LruEviction) {
   cs.insert(make_data("/n/1"));
   cs.insert(make_data("/n/2"));
   // Touch /n/0 so /n/1 becomes the LRU victim.
-  EXPECT_TRUE(cs.find(Name("/n/0")).has_value());
+  EXPECT_TRUE(cs.find(Name("/n/0")) != nullptr);
   cs.insert(make_data("/n/3"));
   EXPECT_EQ(cs.size(), 3u);
   EXPECT_TRUE(cs.contains(Name("/n/0")));
@@ -51,8 +51,8 @@ TEST(ContentStore, FreshnessExpiry) {
   ContentStore cs;
   cs.insert(make_data("/f/0", "x", common::Duration::milliseconds(500)),
             TimePoint{0});
-  EXPECT_TRUE(cs.find(Name("/f/0"), false, TimePoint{400000}).has_value());
-  EXPECT_FALSE(cs.find(Name("/f/0"), false, TimePoint{600000}).has_value());
+  EXPECT_TRUE(cs.find(Name("/f/0"), false, TimePoint{400000}) != nullptr);
+  EXPECT_FALSE(cs.find(Name("/f/0"), false, TimePoint{600000}) != nullptr);
   // The expired entry was evicted on lookup.
   EXPECT_EQ(cs.size(), 0u);
 }
@@ -64,7 +64,7 @@ TEST(ContentStore, PrefixLookupSkipsExpired) {
   cs.insert(make_data("/p/1", "x", common::Duration::seconds(100.0)),
             TimePoint{0});
   auto hit = cs.find(Name("/p"), true, TimePoint{50000000});
-  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit != nullptr);
   EXPECT_EQ(hit->name().to_uri(), "/p/1");
 }
 
@@ -84,7 +84,7 @@ TEST(ContentStore, ReinsertRefreshesExpiry) {
             TimePoint{0});
   cs.insert(make_data("/r/0", "x", common::Duration::milliseconds(100)),
             TimePoint{80000});
-  EXPECT_TRUE(cs.find(Name("/r/0"), false, TimePoint{150000}).has_value());
+  EXPECT_TRUE(cs.find(Name("/r/0"), false, TimePoint{150000}) != nullptr);
 }
 
 TEST(Pit, InsertAndFind) {

@@ -131,10 +131,10 @@ TEST_F(WifiFaceTest, IgnoresForeignFrames) {
                             [&](const Data&) { ++delivered; });
   // An IP-lite frame (magic 0x45) and garbage must both be ignored.
   auto ip_frame = std::make_shared<sim::Frame>();
-  ip_frame->payload = {0x45, 1, 2, 3};
+  ip_frame->payload = common::Bytes{0x45, 1, 2, 3};
   face.on_frame(ip_frame);
   auto junk = std::make_shared<sim::Frame>();
-  junk->payload = {0x05, 0xff, 0xff};  // truncated interest
+  junk->payload = common::Bytes{0x05, 0xff, 0xff};  // truncated interest
   face.on_frame(junk);
   auto empty = std::make_shared<sim::Frame>();
   face.on_frame(empty);
