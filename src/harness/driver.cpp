@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "harness/realworld.hpp"
+#include "harness/scale.hpp"
 
 namespace dapes::harness {
 
@@ -44,6 +45,8 @@ ProtocolDriverRegistry::ProtocolDriverRegistry() {
       return run_realworld_trial(scenario, params);
     });
   }
+  add(ProtocolNames::kScaleField, run_scale_trial);
+  add(ProtocolNames::kScaleMedium, run_medium_stress_trial);
 }
 
 ProtocolDriverRegistry& ProtocolDriverRegistry::instance() {

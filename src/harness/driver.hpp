@@ -43,6 +43,8 @@ struct ProtocolNames {
   static constexpr const char* kRealWorldCarrier = "realworld.carrier";
   static constexpr const char* kRealWorldRepository = "realworld.repository";
   static constexpr const char* kRealWorldMoving = "realworld.moving";
+  static constexpr const char* kScaleField = "scale.field";
+  static constexpr const char* kScaleMedium = "scale.medium";
 };
 
 /// String-keyed driver registry. The built-in drivers above are registered

@@ -26,6 +26,16 @@ namespace dapes::harness {
 /// Scale divisor applied to collection size and radio rate.
 inline constexpr size_t kDefaultScale = 8;
 
+/// Mobility model applied to the mobile nodes of a scenario. The paper's
+/// Fig. 7 setup uses random direction; the scale.field family also runs
+/// random waypoint (with pause) and reference-point group mobility
+/// (convoys of group_size nodes sharing an anchor).
+enum class MobilityKind {
+  kRandomDirection,
+  kRandomWaypoint,
+  kGroup,
+};
+
 struct ScenarioParams {
   // --- field & population (paper Fig. 7) ---
   double field_m = 300.0;
@@ -33,6 +43,12 @@ struct ScenarioParams {
   int mobile_downloaders = 20;
   int pure_forwarders = 10;
   int dapes_intermediates = 10;
+
+  // --- mobility of the mobile nodes ---
+  MobilityKind mobility = MobilityKind::kRandomDirection;
+  double waypoint_pause_s = 2.0;  // RandomWaypoint pause at each target
+  double group_radius_m = 30.0;   // max member offset from the group anchor
+  int group_size = 5;             // members per shared anchor
 
   // --- radio (paper: 802.11b, 11 Mbps, 10% loss) ---
   double wifi_range_m = 60.0;
@@ -51,6 +67,9 @@ struct ScenarioParams {
   // --- run control ---
   double sim_limit_s = 3000.0;
   uint64_t seed = 1;
+  /// Run the medium's retained all-pairs reference instead of the
+  /// spatial grid (equivalence tests, bench_scale's speedup baseline).
+  bool brute_force_medium = false;
 };
 
 /// Outcome of one simulated trial.
@@ -72,6 +91,10 @@ struct TrialResult {
   size_t total_state_bytes = 0;
   /// Scheduler events executed (system-load proxy, see EXPERIMENTS.md).
   uint64_t events_executed = 0;
+  /// Real (wall-clock) seconds the trial's run loop took. The only
+  /// non-deterministic TrialResult field; reported by bench_scale,
+  /// excluded from determinism comparisons.
+  double wall_clock_s = 0.0;
   /// Fraction of knowledge-forwarded Interests that brought data back —
   /// reported by the paper as 83% (§VI-D).
   double forward_accuracy = 0.0;

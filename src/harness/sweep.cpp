@@ -69,19 +69,23 @@ SweepResult run_sweep(const SweepSpec& spec, const TrialRunner& runner) {
         for (const auto& t : cell_trials) {
           samples.push_back(spec.metrics[m].value(t));
         }
-        if (spec.metrics[m].percentile < 0.0) {
-          double sum = 0.0;
-          for (double v : samples) sum += v;
-          result.values[m][s][x] =
-              samples.empty() ? 0.0 : sum / static_cast<double>(samples.size());
-        } else {
-          result.values[m][s][x] =
-              percentile(std::move(samples), spec.metrics[m].percentile);
-        }
+        result.values[m][s][x] =
+            aggregate_metric(spec.metrics[m], std::move(samples));
       }
     }
   }
   return result;
+}
+
+double aggregate_metric(const SweepMetric& metric,
+                        std::vector<double> samples) {
+  if (metric.percentile < 0.0) {
+    double sum = 0.0;
+    for (double v : samples) sum += v;
+    return samples.empty() ? 0.0
+                           : sum / static_cast<double>(samples.size());
+  }
+  return percentile(std::move(samples), metric.percentile);
 }
 
 namespace {
@@ -268,6 +272,12 @@ SweepMetric page_faults_metric(double pct) {
   return {"page_faults",
           [](const TrialResult& r) { return static_cast<double>(r.page_faults); },
           pct};
+}
+
+SweepMetric trial_wall_metric() {
+  return {"trial_wall_s",
+          [](const TrialResult& r) { return r.wall_clock_s; },
+          /*percentile=*/-1.0};
 }
 
 }  // namespace dapes::harness

@@ -78,6 +78,11 @@ struct SweepResult {
 /// (throws std::out_of_range on an unknown name before any trial runs).
 SweepResult run_sweep(const SweepSpec& spec, const TrialRunner& runner);
 
+/// Collapse one metric's cross-trial samples per its aggregation rule
+/// (mean when percentile is negative, else that percentile). Shared by
+/// run_sweep and the hand-rolled benches so the rule lives in one place.
+double aggregate_metric(const SweepMetric& metric, std::vector<double> samples);
+
 /// Render to `out` (caller owns the stream).
 void write_sweep(const SweepResult& result, OutputFormat format,
                  std::FILE* out);
@@ -91,5 +96,8 @@ SweepMetric knowledge_kb_metric(double pct = 90.0);
 SweepMetric context_switches_metric(double pct = 90.0);
 SweepMetric system_calls_metric(double pct = 90.0);
 SweepMetric page_faults_metric(double pct = 90.0);
+/// Wall-clock seconds per trial (mean) — non-deterministic; bench_scale's
+/// speedup metric, never used where byte-identical output is asserted.
+SweepMetric trial_wall_metric();
 
 }  // namespace dapes::harness

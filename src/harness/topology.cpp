@@ -1,6 +1,9 @@
 #include "harness/topology.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numbers>
 
 namespace dapes::harness {
 
@@ -18,6 +21,7 @@ Topology::Topology(const ScenarioParams& params, uint64_t seed,
   mp.range_m = params.wifi_range_m;
   mp.data_rate_bps = params.data_rate_bps;
   mp.loss_rate = params.loss_rate;
+  mp.brute_force = params.brute_force_medium;
   medium = std::make_unique<sim::Medium>(sched, mp, rng.fork());
 
   producer_key = keys.generate_key(key_name, params.seed);
@@ -31,12 +35,47 @@ Topology::Topology(const ScenarioParams& params, uint64_t seed,
 }
 
 sim::MobilityModel* Topology::mobile(const ScenarioParams& params) {
-  sim::RandomDirectionMobility::Params mp;
-  mp.field = sim::Field{params.field_m, params.field_m};
-  Vec2 start{rng.uniform(0.0, params.field_m),
-             rng.uniform(0.0, params.field_m)};
-  mobility.push_back(std::make_unique<sim::RandomDirectionMobility>(
-      start, mp, rng.fork()));
+  const sim::Field field{params.field_m, params.field_m};
+  switch (params.mobility) {
+    case MobilityKind::kRandomDirection: {
+      sim::RandomDirectionMobility::Params mp;
+      mp.field = field;
+      Vec2 start{rng.uniform(0.0, params.field_m),
+                 rng.uniform(0.0, params.field_m)};
+      mobility.push_back(std::make_unique<sim::RandomDirectionMobility>(
+          start, mp, rng.fork()));
+      break;
+    }
+    case MobilityKind::kRandomWaypoint: {
+      sim::RandomWaypointMobility::Params mp;
+      mp.field = field;
+      mp.pause = sim::Duration::seconds(params.waypoint_pause_s);
+      Vec2 start{rng.uniform(0.0, params.field_m),
+                 rng.uniform(0.0, params.field_m)};
+      mobility.push_back(std::make_unique<sim::RandomWaypointMobility>(
+          start, mp, rng.fork()));
+      break;
+    }
+    case MobilityKind::kGroup: {
+      const int group_size = std::max(1, params.group_size);
+      if (group_fill_ % group_size == 0) {
+        sim::RandomWaypointMobility::Params mp;
+        mp.field = field;
+        mp.pause = sim::Duration::seconds(params.waypoint_pause_s);
+        Vec2 start{rng.uniform(0.0, params.field_m),
+                   rng.uniform(0.0, params.field_m)};
+        group_anchor_ = std::make_shared<sim::RandomWaypointMobility>(
+            start, mp, rng.fork());
+      }
+      ++group_fill_;
+      const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      const double radius = rng.uniform(0.0, params.group_radius_m);
+      Vec2 offset{radius * std::cos(angle), radius * std::sin(angle)};
+      mobility.push_back(
+          std::make_unique<sim::GroupMobility>(group_anchor_, offset, field));
+      break;
+    }
+  }
   return mobility.back().get();
 }
 
@@ -82,6 +121,7 @@ TrialResult run_to_completion(const ScenarioParams& params, Topology& topo,
                               CompletionTracker& tracker,
                               const std::function<StateSample()>& sample) {
   TrialResult result;
+  const auto wall_start = std::chrono::steady_clock::now();
   const TimePoint limit{static_cast<int64_t>(params.sim_limit_s * 1e6)};
   const Duration chunk = Duration::seconds(5.0);
   TimePoint cursor = TimePoint::zero();
@@ -105,6 +145,9 @@ TrialResult run_to_completion(const ScenarioParams& params, Topology& topo,
                            topo.medium->stats().tx_by_kind.end());
   result.collided_frames = topo.medium->stats().collided_frames;
   result.events_executed = topo.sched.executed();
+  result.wall_clock_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
 
   // Modeled system-load proxies (Table I). Coefficients are arbitrary but
   // fixed; the *shape* across scenarios — driven by events, frames and

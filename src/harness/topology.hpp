@@ -41,8 +41,12 @@ struct Topology {
            const std::string& collection_name, const std::string& key_name,
            const std::string& file_prefix);
 
-  /// Random-direction mobility across the params field, started at a
-  /// uniform position (consumes rng draws; call in node order).
+  /// Mobility for one mobile node, per params.mobility: random direction
+  /// (the Fig. 7 default), random waypoint, or group (every group_size-th
+  /// call starts a new convoy anchor the following members share).
+  /// Started at a uniform position (consumes rng draws; call in node
+  /// order — the random-direction path draws exactly what the
+  /// pre-grid code drew, so paper-scale trials are unchanged).
   sim::MobilityModel* mobile(const ScenarioParams& params);
 
   /// Stationary repository position: a regular grid inset from the field
@@ -54,6 +58,12 @@ struct Topology {
 
   /// Scripted waypoint mobility (real-world scripts).
   sim::MobilityModel* waypoints(std::vector<sim::WaypointMobility::Waypoint> pts);
+
+ private:
+  /// Shared convoy anchors for MobilityKind::kGroup, one per group_size
+  /// mobile() calls.
+  std::shared_ptr<sim::MobilityModel> group_anchor_;
+  int group_fill_ = 0;
 };
 
 /// Completion bookkeeping shared by all drivers.

@@ -1,11 +1,27 @@
 #include "sim/medium.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dapes::sim {
 
+namespace {
+
+/// Two senders can only corrupt each other at a common receiver if they
+/// are within 2x range of each other (triangle inequality); the slack
+/// absorbs floating-point rounding in the squared-distance predicate so
+/// the pruned index can never drop a pair the reference would mark.
+constexpr double kCollisionSlack = 1e-6;
+
+/// Mirror of SpatialHashGrid's cell-size clamp, for staleness checks.
+double cell_for(double range_m) { return range_m > 1e-9 ? range_m : 1e-9; }
+
+}  // namespace
+
 Medium::Medium(Scheduler& sched, Params params, common::Rng rng)
-    : sched_(sched), params_(params), rng_(rng) {}
+    : sched_(sched), params_(params), rng_(rng) {
+  tx_grid_.set_cell_size(cell_for(params_.range_m));
+}
 
 NodeId Medium::add_node(MobilityModel* mobility, ReceiveCallback on_receive) {
   if (mobility == nullptr) {
@@ -30,16 +46,89 @@ bool Medium::in_range(NodeId a, NodeId b) const {
   return within_range(position_of(a), position_of(b), params_.range_m);
 }
 
-std::vector<NodeId> Medium::neighbors_of(NodeId node) const {
-  std::vector<NodeId> out;
-  Vec2 p = position_of(node);
-  for (NodeId other = 0; other < nodes_.size(); ++other) {
-    if (other == node) continue;
-    if (within_range(p, position_of(other), params_.range_m)) {
-      out.push_back(other);
+void Medium::set_range(double range_m) {
+  params_.range_m = range_m;
+  node_grid_valid_ = false;
+  if (!params_.brute_force) rebuild_tx_grid();
+}
+
+void Medium::rebuild_tx_grid() {
+  tx_grid_.set_cell_size(cell_for(params_.range_m));
+  for (const auto& [id, tx] : active_) tx_grid_.insert(id, tx.sender_pos);
+}
+
+void Medium::ensure_node_grid() const {
+  const TimePoint now = sched_.now();
+  bool fresh = node_grid_valid_ &&
+               node_grid_hint_ == cell_for(params_.range_m) &&
+               node_grid_.size() == nodes_.size();
+  if (fresh) {
+    // Rebuild once nodes may have drifted more than a quarter cell:
+    // queries inflate their radius by that drift, and keeping it small
+    // keeps every query inside a 3x3-4x4 cell window. Rebuilds stay
+    // cheap — O(n) every range/(4*max_speed) simulated seconds.
+    double dt = (now - node_grid_time_).to_seconds();
+    if (dt > 0.0 && node_grid_max_speed_ * dt > 0.25 * params_.range_m) {
+      fresh = false;
     }
   }
+  if (fresh) return;
+
+  std::vector<Vec2> positions;
+  positions.reserve(nodes_.size());
+  node_grid_max_speed_ = 0.0;
+  for (const NodeEntry& node : nodes_) {
+    positions.push_back(node.mobility->position_at(now));
+    node_grid_max_speed_ =
+        std::max(node_grid_max_speed_, node.mobility->max_speed());
+  }
+  node_grid_hint_ = cell_for(params_.range_m);
+  node_grid_.build(positions, node_grid_hint_);
+  node_grid_time_ = now;
+  node_grid_valid_ = true;
+}
+
+double Medium::node_grid_slack() const {
+  double dt = (sched_.now() - node_grid_time_).to_seconds();
+  return dt > 0.0 ? node_grid_max_speed_ * dt : 0.0;
+}
+
+template <typename Fn>
+void Medium::for_each_in_range(Vec2 center, NodeId exclude, Fn&& fn) const {
+  const TimePoint now = sched_.now();
+  if (params_.brute_force) {
+    for (NodeId other = 0; other < nodes_.size(); ++other) {
+      if (other == exclude) continue;
+      Vec2 p = nodes_[other].mobility->position_at(now);
+      if (within_range(center, p, params_.range_m)) fn(other, p);
+    }
+    return;
+  }
+  ensure_node_grid();
+  node_grid_.for_each_candidate(
+      center, params_.range_m + node_grid_slack(), [&](uint64_t id, Vec2) {
+        NodeId other = static_cast<NodeId>(id);
+        if (other == exclude) return;
+        Vec2 p = nodes_[other].mobility->position_at(now);
+        if (within_range(center, p, params_.range_m)) fn(other, p);
+      });
+}
+
+std::vector<NodeId> Medium::neighbors_of(NodeId node) const {
+  std::vector<NodeId> out;
+  for_each_in_range(position_of(node), node,
+                    [&](NodeId other, Vec2) { out.push_back(other); });
+  // The reference scans in ascending NodeId order; match it exactly
+  // (already sorted in brute mode, so this is a no-op there).
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+size_t Medium::degree_of(NodeId node) const {
+  size_t degree = 0;
+  for_each_in_range(position_of(node), node,
+                    [&](NodeId, Vec2) { ++degree; });
+  return degree;
 }
 
 void Medium::transmit(FramePtr frame, SendCompleteCallback on_complete) {
@@ -67,31 +156,69 @@ void Medium::transmit(FramePtr frame, SendCompleteCallback on_complete) {
   // Mutual collision marking with every transmission currently in flight.
   // Overlap is decided at start time: a new frame overlaps exactly the
   // set of frames still active now.
-  for (auto& [other_id, other] : active_) {
-    other.collider_positions.push_back(tx.sender_pos);
-    tx.collider_positions.push_back(other.sender_pos);
+  if (params_.brute_force) {
+    for (auto& [other_id, other] : active_) {
+      other.collider_positions.push_back(tx.sender_pos);
+      tx.collider_positions.push_back(other.sender_pos);
+    }
+  } else {
+    // Range-pruned marking: senders farther apart than 2x range share no
+    // receiver, so skipping them cannot change any delivery outcome.
+    const double prune = 2.0 * params_.range_m + kCollisionSlack;
+    tx_grid_.for_each_candidate(
+        tx.sender_pos, prune, [&](uint64_t other_id, Vec2 other_pos) {
+          if (!within_range(tx.sender_pos, other_pos, prune)) return;
+          auto it = active_.find(other_id);
+          it->second.collider_positions.push_back(tx.sender_pos);
+          tx.collider_positions.push_back(other_pos);
+        });
+
+    // Capture the exact in-range receiver set now (start == now).
+    // position_at is a pure function of t, so delivery reads the same
+    // positions the reference recomputes at end time, in the same
+    // ascending order.
+    for_each_in_range(tx.sender_pos, sender, [&](NodeId receiver, Vec2 rp) {
+      tx.receivers.push_back({receiver, rp});
+    });
+    std::sort(tx.receivers.begin(), tx.receivers.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
   }
 
+  const Vec2 sender_pos = tx.sender_pos;
   active_.emplace(id, std::move(tx));
+  if (!params_.brute_force) tx_grid_.insert(id, sender_pos);
   sched_.schedule_at(end, [this, id] { deliver(id); });
 }
 
 bool Medium::busy_for(NodeId node) const {
   Vec2 p = position_of(node);
-  for (const auto& [id, tx] : active_) {
-    if (within_range(p, tx.sender_pos, params_.range_m)) return true;
+  if (params_.brute_force) {
+    for (const auto& [id, tx] : active_) {
+      if (within_range(p, tx.sender_pos, params_.range_m)) return true;
+    }
+    return false;
   }
-  return false;
+  return tx_grid_.any_candidate(p, params_.range_m, [&](uint64_t, Vec2 pos) {
+    return within_range(p, pos, params_.range_m);
+  });
 }
 
 TimePoint Medium::busy_until(NodeId node) const {
   Vec2 p = position_of(node);
   TimePoint latest = sched_.now();
-  for (const auto& [id, tx] : active_) {
-    if (within_range(p, tx.sender_pos, params_.range_m) && tx.end > latest) {
-      latest = tx.end;
+  if (params_.brute_force) {
+    for (const auto& [id, tx] : active_) {
+      if (within_range(p, tx.sender_pos, params_.range_m) && tx.end > latest) {
+        latest = tx.end;
+      }
     }
+    return latest;
   }
+  tx_grid_.for_each_candidate(p, params_.range_m, [&](uint64_t id, Vec2 pos) {
+    if (!within_range(p, pos, params_.range_m)) return;
+    const TimePoint end = active_.find(id)->second.end;
+    if (end > latest) latest = end;
+  });
   return latest;
 }
 
@@ -100,50 +227,61 @@ void Medium::deliver(uint64_t tx_id) {
   if (it == active_.end()) return;
   ActiveTx tx = std::move(it->second);
   active_.erase(it);
+  if (!params_.brute_force) tx_grid_.erase(tx.id, tx.sender_pos);
 
-  const NodeId sender = tx.frame->sender;
   TxReport report;
-
-  for (NodeId receiver = 0; receiver < nodes_.size(); ++receiver) {
-    if (receiver == sender) continue;
-    Vec2 rp = nodes_[receiver].mobility->position_at(tx.start);
-    if (!within_range(rp, tx.sender_pos, params_.range_m)) continue;
-    ++report.receivers;
-
-    // Collision: another overlapping transmission audible here corrupts
-    // the frame unless the sender is enough closer than the interferer
-    // for physical-layer capture.
-    bool collided = false;
-    const double own_dist = distance(rp, tx.sender_pos);
-    for (const Vec2& cp : tx.collider_positions) {
-      if (!within_range(rp, cp, params_.range_m)) continue;
-      double interferer_dist = distance(rp, cp);
-      if (params_.capture_ratio > 0.0 &&
-          own_dist <= params_.capture_ratio * interferer_dist) {
-        continue;  // captured: our signal dominates this interferer
-      }
-      collided = true;
-      break;
+  if (params_.brute_force) {
+    const NodeId sender = tx.frame->sender;
+    for (NodeId receiver = 0; receiver < nodes_.size(); ++receiver) {
+      if (receiver == sender) continue;
+      Vec2 rp = nodes_[receiver].mobility->position_at(tx.start);
+      if (!within_range(rp, tx.sender_pos, params_.range_m)) continue;
+      deliver_one(tx, receiver, rp, report);
     }
-    if (collided) {
-      ++stats_.collision_drops;
-      ++report.collided;
-      continue;
-    }
-    if (rng_.chance(params_.loss_rate)) {
-      ++stats_.losses;
-      ++report.lost;
-      continue;
-    }
-    ++stats_.deliveries;
-    ++report.delivered;
-    if (nodes_[receiver].on_receive) {
-      nodes_[receiver].on_receive(tx.frame, receiver);
+  } else {
+    for (const auto& [receiver, rp] : tx.receivers) {
+      deliver_one(tx, receiver, rp, report);
     }
   }
 
   if (report.collided_anywhere()) ++stats_.collided_frames;
   if (tx.on_complete) tx.on_complete(report);
+}
+
+void Medium::deliver_one(const ActiveTx& tx, NodeId receiver,
+                         Vec2 receiver_pos, TxReport& report) {
+  ++report.receivers;
+
+  // Collision: another overlapping transmission audible here corrupts
+  // the frame unless the sender is enough closer than the interferer
+  // for physical-layer capture.
+  bool collided = false;
+  const double own_dist = distance(receiver_pos, tx.sender_pos);
+  for (const Vec2& cp : tx.collider_positions) {
+    if (!within_range(receiver_pos, cp, params_.range_m)) continue;
+    double interferer_dist = distance(receiver_pos, cp);
+    if (params_.capture_ratio > 0.0 &&
+        own_dist <= params_.capture_ratio * interferer_dist) {
+      continue;  // captured: our signal dominates this interferer
+    }
+    collided = true;
+    break;
+  }
+  if (collided) {
+    ++stats_.collision_drops;
+    ++report.collided;
+    return;
+  }
+  if (rng_.chance(params_.loss_rate)) {
+    ++stats_.losses;
+    ++report.lost;
+    return;
+  }
+  ++stats_.deliveries;
+  ++report.delivered;
+  if (nodes_[receiver].on_receive) {
+    nodes_[receiver].on_receive(tx.frame, receiver);
+  }
 }
 
 }  // namespace dapes::sim

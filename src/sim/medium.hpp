@@ -12,6 +12,15 @@
 // callback — an abstraction of detecting a collision through the absence
 // of the expected response (the paper's peers detect collisions and then
 // run PEBA). See DESIGN.md "Substitutions".
+//
+// Connectivity queries (delivery, neighbor sets, carrier sense, collision
+// marking) go through a uniform spatial hash grid (cell size = radio
+// range) rebuilt lazily against the mobility positions, so they touch
+// only the cells around a node instead of every node. The grid is a pure
+// candidate index — every candidate is re-checked with the exact
+// `within_range` predicate — so outcomes are *identical* to the retained
+// all-pairs reference (Params::brute_force), which the equivalence test
+// suite asserts. See DESIGN.md "Spatial medium".
 #pragma once
 
 #include <cstdint>
@@ -25,6 +34,7 @@
 #include "common/rng.hpp"
 #include "sim/mobility.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/spatial_grid.hpp"
 
 namespace dapes::sim {
 
@@ -73,6 +83,14 @@ class Medium {
     /// the receiver (power advantage ~1/ratio^2). Set to 0 to disable
     /// capture (any overlap kills both frames).
     double capture_ratio = 0.7;
+    /// Use the retained all-pairs reference implementation instead of
+    /// the spatial grid. Outcomes are identical either way (the
+    /// equivalence tests assert it) as long as the node set and range
+    /// stay fixed while frames are in flight — see the set_range() and
+    /// DESIGN.md "Spatial medium" notes on those two pins. The
+    /// reference exists for the equivalence tests and for bench_scale's
+    /// speedup baseline.
+    bool brute_force = false;
   };
 
   /// Delivered frame + the receiving node.
@@ -116,10 +134,19 @@ class Medium {
   Vec2 position_of(NodeId node) const;
   bool in_range(NodeId a, NodeId b) const;
   std::vector<NodeId> neighbors_of(NodeId node) const;
+  /// Number of nodes in range of @p node (== neighbors_of(node).size(),
+  /// without materializing the set) — the density query that
+  /// density-adaptive logic and the scale.medium sweeps use on every
+  /// tick.
+  size_t degree_of(NodeId node) const;
   size_t node_count() const { return nodes_.size(); }
 
   const Params& params() const { return params_; }
-  void set_range(double range_m) { params_.range_m = range_m; }
+
+  /// Change the radio range. In grid mode this re-indexes; it applies to
+  /// subsequent transmissions (frames already in flight keep the receiver
+  /// set captured at their start, matching their start-time range).
+  void set_range(double range_m);
 
   const MediumStats& stats() const { return stats_; }
   MediumStats& stats() { return stats_; }
@@ -138,10 +165,31 @@ class Medium {
     TimePoint end;
     /// Positions of senders whose transmissions overlapped this one.
     std::vector<Vec2> collider_positions;
+    /// Grid mode: the exact in-range receiver set (id, position) captured
+    /// at start time — identical to what the reference recomputes at
+    /// delivery time because position_at is a pure function of t.
+    std::vector<std::pair<NodeId, Vec2>> receivers;
     SendCompleteCallback on_complete;
   };
 
   void deliver(uint64_t tx_id);
+  void deliver_one(const ActiveTx& tx, NodeId receiver, Vec2 receiver_pos,
+                   TxReport& report);
+
+  /// Visit every node (except @p exclude) within radio range of @p center
+  /// right now, as fn(id, position), in ascending id order in brute mode
+  /// and unspecified order in grid mode. The single home of the
+  /// "ensure grid, inflate by drift slack, re-check exactly" idiom that
+  /// neighbors_of, degree_of and the transmit receiver capture share.
+  template <typename Fn>
+  void for_each_in_range(Vec2 center, NodeId exclude, Fn&& fn) const;
+
+  /// Rebuild the lazy node grid if the cell size changed or nodes may
+  /// have drifted more than one cell since the last build; afterwards
+  /// `node_grid_slack()` bounds the residual drift.
+  void ensure_node_grid() const;
+  double node_grid_slack() const;
+  void rebuild_tx_grid();
 
   Scheduler& sched_;
   Params params_;
@@ -150,6 +198,19 @@ class Medium {
   std::unordered_map<uint64_t, ActiveTx> active_;
   uint64_t next_tx_id_ = 1;
   MediumStats stats_;
+
+  /// Lazy spatial index of node positions (grid mode). Entries hold the
+  /// position at build time; queries inflate their radius by the drift
+  /// bound max_speed * (now - build time) and re-check exactly.
+  mutable DenseCellGrid node_grid_;
+  mutable TimePoint node_grid_time_ = TimePoint::zero();
+  mutable double node_grid_max_speed_ = 0.0;
+  mutable double node_grid_hint_ = -1.0;
+  mutable bool node_grid_valid_ = false;
+
+  /// Spatial index of in-flight transmissions keyed by their (fixed)
+  /// sender positions; maintained incrementally by transmit/deliver.
+  SpatialHashGrid tx_grid_;
 };
 
 }  // namespace dapes::sim

@@ -1,6 +1,8 @@
 #include "sim/mobility.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <stdexcept>
 
@@ -98,6 +100,12 @@ WaypointMobility::WaypointMobility(std::vector<Waypoint> waypoints)
     if (waypoints_[i].at < waypoints_[i - 1].at) {
       throw std::invalid_argument("WaypointMobility: unsorted waypoints");
     }
+    double span = (waypoints_[i].at - waypoints_[i - 1].at).to_seconds();
+    double dist = distance(waypoints_[i].pos, waypoints_[i - 1].pos);
+    if (dist <= 0.0) continue;
+    max_speed_ = span > 0.0
+                     ? std::max(max_speed_, dist / span)
+                     : std::numeric_limits<double>::infinity();
   }
 }
 
@@ -115,6 +123,73 @@ Vec2 WaypointMobility::position_at(TimePoint t) {
     }
   }
   return waypoints_.back().pos;
+}
+
+RandomWaypointMobility::RandomWaypointMobility(Vec2 start, Params params,
+                                               common::Rng rng)
+    : params_(params), rng_(rng) {
+  if (params_.speed_min <= 0.0 || params_.speed_max < params_.speed_min) {
+    throw std::invalid_argument("RandomWaypointMobility: bad speed bounds");
+  }
+  if (params_.pause.us < 0) {
+    throw std::invalid_argument("RandomWaypointMobility: negative pause");
+  }
+  legs_.push_back(make_leg(TimePoint::zero(), params_.field.clamp(start)));
+}
+
+RandomWaypointMobility::Leg RandomWaypointMobility::make_leg(
+    TimePoint start_time, Vec2 from) {
+  Vec2 dest{rng_.uniform(0.0, params_.field.width),
+            rng_.uniform(0.0, params_.field.height)};
+  double speed = rng_.uniform(params_.speed_min, params_.speed_max);
+  Leg leg;
+  leg.start_time = start_time;
+  leg.arrive_time =
+      start_time + Duration::seconds(distance(from, dest) / speed);
+  leg.end_time = leg.arrive_time + params_.pause;
+  // Zero-length pauses on a zero-length trip would stall extend_to; give
+  // every leg a strictly positive span.
+  if (leg.end_time <= leg.start_time) {
+    leg.end_time = leg.start_time + Duration::microseconds(1);
+  }
+  leg.from = from;
+  leg.to = dest;
+  return leg;
+}
+
+void RandomWaypointMobility::extend_to(TimePoint t) {
+  while (legs_.back().end_time < t) {
+    const Leg& last = legs_.back();
+    legs_.push_back(make_leg(last.end_time, last.to));
+  }
+}
+
+Vec2 RandomWaypointMobility::position_at(TimePoint t) {
+  if (t < legs_.front().start_time) t = legs_.front().start_time;
+  extend_to(t);
+  for (size_t i = legs_.size(); i-- > 0;) {
+    const Leg& leg = legs_[i];
+    if (t >= leg.start_time) {
+      if (t >= leg.arrive_time) return leg.to;  // travelling done: pausing
+      double span = (leg.arrive_time - leg.start_time).to_seconds();
+      if (span <= 0.0) return leg.to;
+      double frac = (t - leg.start_time).to_seconds() / span;
+      return leg.from + (leg.to - leg.from) * frac;
+    }
+  }
+  return legs_.front().from;
+}
+
+GroupMobility::GroupMobility(std::shared_ptr<MobilityModel> anchor,
+                             Vec2 offset, Field field)
+    : anchor_(std::move(anchor)), offset_(offset), field_(field) {
+  if (!anchor_) {
+    throw std::invalid_argument("GroupMobility: null anchor");
+  }
+}
+
+Vec2 GroupMobility::position_at(TimePoint t) {
+  return field_.clamp(anchor_->position_at(t) + offset_);
 }
 
 }  // namespace dapes::sim

@@ -8,6 +8,7 @@
 // so mobility adds no scheduler events of its own.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -21,10 +22,22 @@ using common::Duration;
 using common::TimePoint;
 
 /// Interface: where is the node at simulated time t?
+///
+/// position_at must be a pure function of t (models may materialize
+/// internal state lazily, but repeated or out-of-order queries for the
+/// same t must return the same position).
 class MobilityModel {
  public:
   virtual ~MobilityModel() = default;
   virtual Vec2 position_at(TimePoint t) = 0;
+
+  /// Conservative upper bound on the node's speed in m/s. The medium's
+  /// spatial grid uses it to bound how far nodes can drift between
+  /// rebuilds; the default (infinity) is always safe — it just forces a
+  /// rebuild whenever the clock has advanced.
+  virtual double max_speed() const {
+    return std::numeric_limits<double>::infinity();
+  }
 };
 
 /// Fixed position (repositories / stationary nodes).
@@ -32,6 +45,7 @@ class StationaryMobility final : public MobilityModel {
  public:
   explicit StationaryMobility(Vec2 pos) : pos_(pos) {}
   Vec2 position_at(TimePoint) override { return pos_; }
+  double max_speed() const override { return 0.0; }
 
  private:
   Vec2 pos_;
@@ -56,6 +70,7 @@ class RandomDirectionMobility final : public MobilityModel {
   RandomDirectionMobility(Vec2 start, Params params, common::Rng rng);
 
   Vec2 position_at(TimePoint t) override;
+  double max_speed() const override { return params_.speed_max; }
 
  private:
   struct Leg {
@@ -91,8 +106,68 @@ class WaypointMobility final : public MobilityModel {
 
   Vec2 position_at(TimePoint t) override;
 
+  /// Fastest segment speed (infinity if two waypoints share a timestamp
+  /// at different positions — an instantaneous jump).
+  double max_speed() const override { return max_speed_; }
+
  private:
   std::vector<Waypoint> waypoints_;
+  double max_speed_ = 0.0;
+};
+
+/// Random-waypoint model with pause time (the classic RWP used by the
+/// large-scale scenario families): the node draws a destination uniform
+/// in the field and a speed uniform in [speed_min, speed_max], travels
+/// there in a straight line, pauses, and repeats. Legs are materialized
+/// on demand, like RandomDirectionMobility.
+class RandomWaypointMobility final : public MobilityModel {
+ public:
+  struct Params {
+    Field field{};
+    double speed_min = 2.0;   // m/s
+    double speed_max = 10.0;  // m/s
+    Duration pause = Duration::seconds(2.0);
+  };
+
+  RandomWaypointMobility(Vec2 start, Params params, common::Rng rng);
+
+  Vec2 position_at(TimePoint t) override;
+  double max_speed() const override { return params_.speed_max; }
+
+ private:
+  struct Leg {
+    TimePoint start_time;   // departure from `from`
+    TimePoint arrive_time;  // arrival at `to`
+    TimePoint end_time;     // arrival + pause; next leg starts here
+    Vec2 from;
+    Vec2 to;
+  };
+
+  void extend_to(TimePoint t);
+  Leg make_leg(TimePoint start_time, Vec2 from);
+
+  Params params_;
+  common::Rng rng_;
+  std::vector<Leg> legs_;
+};
+
+/// Reference-point group mobility (convoy/cluster): every member of a
+/// group shares one anchor trajectory (typically a RandomWaypointMobility)
+/// and holds a fixed offset from it, clamped to the field. Clamping is a
+/// projection onto the field box (1-Lipschitz), so a member never moves
+/// faster than its anchor.
+class GroupMobility final : public MobilityModel {
+ public:
+  GroupMobility(std::shared_ptr<MobilityModel> anchor, Vec2 offset,
+                Field field);
+
+  Vec2 position_at(TimePoint t) override;
+  double max_speed() const override { return anchor_->max_speed(); }
+
+ private:
+  std::shared_ptr<MobilityModel> anchor_;
+  Vec2 offset_;
+  Field field_;
 };
 
 }  // namespace dapes::sim

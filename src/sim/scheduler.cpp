@@ -1,6 +1,17 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
+
 namespace dapes::sim {
+
+namespace {
+
+/// Below this size the heap is too small for compaction to matter; the
+/// floor also preserves the "cancel twice returns false" behaviour for
+/// the tiny schedules unit tests build.
+constexpr size_t kCompactFloor = 64;
+
+}  // namespace
 
 EventId Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
   if (at < now_) at = now_;
@@ -10,7 +21,8 @@ EventId Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
   e.seq = next_seq_++;
   e.id = id;
   e.fn = std::make_shared<std::function<void()>>(std::move(fn));
-  heap_.push(std::move(e));
+  heap_.push_back(std::move(e));
+  std::push_heap(heap_.begin(), heap_.end(), EntryCompare{});
   return EventId{id};
 }
 
@@ -21,17 +33,35 @@ EventId Scheduler::schedule(Duration delay, std::function<void()> fn) {
 
 bool Scheduler::cancel(EventId id) {
   if (!id.valid()) return false;
-  // Only mark; the entry is discarded lazily at pop time.
-  return cancelled_.insert(id.value).second;
+  // Mark; the entry is discarded lazily at pop time, or in bulk once
+  // cancelled entries dominate the heap.
+  if (!cancelled_.insert(id.value).second) return false;
+  if (heap_.size() >= kCompactFloor && cancelled_.size() * 2 > heap_.size()) {
+    compact();
+  }
+  return true;
+}
+
+void Scheduler::compact() {
+  std::erase_if(heap_, [&](const Entry& e) {
+    auto it = cancelled_.find(e.id);
+    if (it == cancelled_.end()) return false;
+    cancelled_.erase(it);
+    return true;
+  });
+  // Anything left never matched a queued entry (it already fired or was
+  // compacted away before): forget it so the set cannot grow either.
+  cancelled_.clear();
+  std::make_heap(heap_.begin(), heap_.end(), EntryCompare{});
 }
 
 size_t Scheduler::run_until(TimePoint until) {
   size_t count = 0;
   while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    if (top.at > until) break;
-    Entry e = top;
-    heap_.pop();
+    if (heap_.front().at > until) break;
+    std::pop_heap(heap_.begin(), heap_.end(), EntryCompare{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
     if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
       cancelled_.erase(it);
       continue;
@@ -50,8 +80,9 @@ size_t Scheduler::run_until(TimePoint until) {
 size_t Scheduler::run() {
   size_t count = 0;
   while (!heap_.empty()) {
-    Entry e = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), EntryCompare{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
     if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
       cancelled_.erase(it);
       continue;

@@ -10,7 +10,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -41,8 +40,10 @@ class Scheduler {
   /// Schedule @p fn after a relative delay (negative delays clamp to 0).
   EventId schedule(Duration delay, std::function<void()> fn);
 
-  /// Cancel a pending event. Returns false if it already fired or was
-  /// already cancelled.
+  /// Cancel a pending event. Returns false if it was already cancelled
+  /// (and usually if it already fired — after a compaction the scheduler
+  /// no longer remembers old ids, so a stale cancel may return true; it
+  /// is harmless either way).
   bool cancel(EventId id);
 
   /// Run until the queue is empty or simulated time reaches @p until.
@@ -53,7 +54,14 @@ class Scheduler {
   size_t run();
 
   /// Number of live (non-cancelled) pending events.
-  size_t pending() const { return heap_.size() - cancelled_.size(); }
+  size_t pending() const {
+    return cancelled_.size() < heap_.size() ? heap_.size() - cancelled_.size()
+                                            : 0;
+  }
+
+  /// Queue entries currently held, *including* cancelled ones awaiting
+  /// lazy removal — the quantity the compaction keeps bounded.
+  size_t queued() const { return heap_.size(); }
 
   /// Total events executed over the scheduler's lifetime.
   uint64_t executed() const { return executed_; }
@@ -72,11 +80,20 @@ class Scheduler {
     }
   };
 
+  /// Drop every cancelled entry from the heap in one O(n) pass. Called
+  /// when cancelled entries outnumber live ones: without it, cancelling
+  /// far-future events (e.g. retransmit timers at 1000-node scale) would
+  /// grow the heap unboundedly, because lazy removal only reclaims
+  /// entries that reach the top.
+  void compact();
+
   TimePoint now_ = TimePoint::zero();
   uint64_t next_seq_ = 1;
   uint64_t next_id_ = 1;
   uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap_;
+  /// Max-priority heap over EntryCompare (std::push_heap/pop_heap), kept
+  /// as a plain vector so compact() can filter it in place.
+  std::vector<Entry> heap_;
   std::unordered_set<uint64_t> cancelled_;
 };
 

@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "harness/driver.hpp"
+#include "harness/scale.hpp"
 #include "harness/sweep.hpp"
 #include "harness/trial_runner.hpp"
 
@@ -58,11 +59,12 @@ TEST(Registry, WellKnownDriversRegistered) {
   for (const char* name :
        {ProtocolNames::kDapes, ProtocolNames::kBithoc, ProtocolNames::kEkta,
         ProtocolNames::kRealWorldCarrier, ProtocolNames::kRealWorldRepository,
-        ProtocolNames::kRealWorldMoving}) {
+        ProtocolNames::kRealWorldMoving, ProtocolNames::kScaleField,
+        ProtocolNames::kScaleMedium}) {
     EXPECT_NE(reg.find(name), nullptr) << name;
     EXPECT_EQ(reg.get(name).name(), name);
   }
-  EXPECT_GE(reg.names().size(), 6u);
+  EXPECT_GE(reg.names().size(), 8u);
 }
 
 TEST(Registry, UnknownDriverFailsCleanly) {
@@ -198,6 +200,60 @@ TEST(Sweep, EmittersProduceAllFormats) {
   std::string json = render(r, OutputFormat::kJson);
   EXPECT_NE(json.find("\"title\": \"engine-test\""), std::string::npos);
   EXPECT_NE(json.find("\"download_s\""), std::string::npos);
+}
+
+TEST(ApplyScale, PreservesTotalsAndDensity) {
+  ScenarioParams p = tiny_params();
+  apply_scale(p, 44);
+  EXPECT_EQ(p.stationary_downloaders + p.mobile_downloaders +
+                p.pure_forwarders + p.dapes_intermediates,
+            44);
+  EXPECT_DOUBLE_EQ(p.field_m, 300.0);
+
+  apply_scale(p, 1000);
+  const int total = p.stationary_downloaders + p.mobile_downloaders +
+                    p.pure_forwarders + p.dapes_intermediates;
+  EXPECT_EQ(total, 1000);
+  // Constant density: area / node is the Fig. 7 ratio.
+  EXPECT_NEAR(p.field_m * p.field_m / total, 300.0 * 300.0 / 44.0, 1.0);
+}
+
+// The scale.field determinism regression: one sweep over the new family
+// (node-count axis, waypoint + group mobility) rendered to JSON must be
+// bit-identical at --jobs 1 and --jobs 8.
+TEST(Sweep, ScaleFieldJsonBitIdenticalAcrossJobs) {
+  SweepSpec spec;
+  spec.title = "scale-field-determinism";
+  spec.base = tiny_params();
+  spec.base.files = 1;
+  spec.base.file_size_bytes = 4 * 1024;
+  spec.base.sim_limit_s = 300.0;
+  spec.axis.label = "nodes";
+  spec.axis.values = {20.0, 44.0};
+  spec.axis.apply = apply_scale;
+  spec.series = {{"waypoint", ProtocolNames::kScaleField,
+                  [](ScenarioParams& p) {
+                    p.mobility = MobilityKind::kRandomWaypoint;
+                  }},
+                 {"group", ProtocolNames::kScaleField,
+                  [](ScenarioParams& p) {
+                    p.mobility = MobilityKind::kGroup;
+                  }},
+                 {"medium-stress", ProtocolNames::kScaleMedium,
+                  [](ScenarioParams& p) {
+                    p.mobility = MobilityKind::kRandomWaypoint;
+                    p.sim_limit_s = 5.0;
+                  }}};
+  spec.metrics = {download_time_metric(), transmissions_k_metric(),
+                  completion_metric()};
+  spec.trials = 2;
+
+  std::string serial = render(run_sweep(spec, TrialRunner(1)),
+                              OutputFormat::kJson);
+  std::string parallel = render(run_sweep(spec, TrialRunner(8)),
+                                OutputFormat::kJson);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
 }
 
 TEST(Sweep, ParseOutputFormat) {

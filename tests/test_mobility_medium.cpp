@@ -2,6 +2,9 @@
 // collisions, capture) and the CSMA radio.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
+
 #include "sim/medium.hpp"
 #include "sim/mobility.hpp"
 #include "sim/radio.hpp"
@@ -73,6 +76,148 @@ TEST(Mobility, WaypointRejectsEmptyAndUnsorted) {
   EXPECT_THROW(WaypointMobility{std::vector<WaypointMobility::Waypoint>{}},
                std::invalid_argument);
   EXPECT_THROW(WaypointMobility({{TimePoint{10}, {0, 0}}, {TimePoint{5}, {1, 1}}}),
+               std::invalid_argument);
+}
+
+TEST(Mobility, MaxSpeedContracts) {
+  StationaryMobility fixed({1, 1});
+  EXPECT_EQ(fixed.max_speed(), 0.0);
+
+  RandomDirectionMobility::Params dp;
+  dp.speed_max = 7.5;
+  RandomDirectionMobility dir({10, 10}, dp, common::Rng(1));
+  EXPECT_EQ(dir.max_speed(), 7.5);
+
+  // 10 m in 2 s, then 30 m in 3 s: fastest segment is 10 m/s.
+  WaypointMobility wp({{TimePoint{0}, {0, 0}},
+                       {TimePoint{2000000}, {10, 0}},
+                       {TimePoint{5000000}, {40, 0}}});
+  EXPECT_DOUBLE_EQ(wp.max_speed(), 10.0);
+
+  // Two waypoints at the same instant but different positions: a jump.
+  WaypointMobility jump({{TimePoint{0}, {0, 0}}, {TimePoint{0}, {5, 0}}});
+  EXPECT_TRUE(std::isinf(jump.max_speed()));
+}
+
+// position_at must be a pure function of t: querying out of order or
+// repeatedly must agree with a fresh model queried in order. This is
+// what lets the grid medium read past positions at delivery time.
+template <typename Make>
+void expect_query_order_independent(Make make) {
+  auto a = make();
+  auto b = make();
+  const int64_t times_us[] = {90000000, 5000000, 90000000, 42000000,
+                              0,        90000000, 17000000};
+  for (int64_t t : times_us) {
+    Vec2 pa = a->position_at(TimePoint{t});
+    // b sees the times in sorted order via a fresh scan each time.
+    Vec2 pb = b->position_at(TimePoint{t});
+    EXPECT_EQ(pa, pb) << "t=" << t;
+  }
+  // Repeat a query after the model materialized far beyond it.
+  auto c = make();
+  Vec2 late_first = c->position_at(TimePoint{90000000});
+  EXPECT_EQ(c->position_at(TimePoint{90000000}), late_first);
+  EXPECT_EQ(c->position_at(TimePoint{5000000}),
+            a->position_at(TimePoint{5000000}));
+}
+
+TEST(Mobility, RandomDirectionQueryOrderIndependent) {
+  expect_query_order_independent([] {
+    RandomDirectionMobility::Params p;
+    p.field = Field{200, 200};
+    return std::make_unique<RandomDirectionMobility>(Vec2{100, 100}, p,
+                                                     common::Rng(11));
+  });
+}
+
+TEST(Mobility, RandomWaypointQueryOrderIndependent) {
+  expect_query_order_independent([] {
+    RandomWaypointMobility::Params p;
+    p.field = Field{200, 200};
+    return std::make_unique<RandomWaypointMobility>(Vec2{100, 100}, p,
+                                                    common::Rng(11));
+  });
+}
+
+class RandomWaypointField : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomWaypointField, StaysInsideFieldAndRespectsSpeed) {
+  RandomWaypointMobility::Params params;
+  params.field = Field{250, 250};
+  params.pause = Duration::seconds(1.5);
+  RandomWaypointMobility m({125, 125}, params, common::Rng(GetParam()));
+  Vec2 prev = m.position_at(TimePoint{0});
+  for (int s = 1; s < 400; ++s) {
+    Vec2 p = m.position_at(TimePoint{static_cast<int64_t>(s) * 1000000});
+    EXPECT_GE(p.x, -1e-6);
+    EXPECT_GE(p.y, -1e-6);
+    EXPECT_LE(p.x, 250 + 1e-6);
+    EXPECT_LE(p.y, 250 + 1e-6);
+    // Displacement per second bounded by the configured max speed.
+    EXPECT_LE(distance(prev, p), params.speed_max + 1e-6);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWaypointField,
+                         ::testing::Values(1, 2, 3, 42, 99));
+
+TEST(Mobility, RandomWaypointPausesAtTargets) {
+  RandomWaypointMobility::Params params;
+  params.field = Field{100, 100};
+  params.pause = Duration::seconds(5.0);
+  RandomWaypointMobility m({50, 50}, params, common::Rng(3));
+  // With a 5 s pause after every leg, there must be 100 ms windows where
+  // the node does not move at all; with max speed 10 m/s a moving node
+  // covers ~1 m per window, so paused windows are exactly stationary.
+  int stationary_windows = 0;
+  Vec2 prev = m.position_at(TimePoint{0});
+  for (int i = 1; i < 3000; ++i) {
+    Vec2 p = m.position_at(TimePoint{static_cast<int64_t>(i) * 100000});
+    if (p == prev) ++stationary_windows;
+    prev = p;
+  }
+  EXPECT_GT(stationary_windows, 50);
+}
+
+TEST(Mobility, RandomWaypointRejectsBadParams) {
+  RandomWaypointMobility::Params bad_speed;
+  bad_speed.speed_min = 0.0;
+  EXPECT_THROW(RandomWaypointMobility({0, 0}, bad_speed, common::Rng(1)),
+               std::invalid_argument);
+  RandomWaypointMobility::Params bad_pause;
+  bad_pause.pause = Duration::seconds(-1.0);
+  EXPECT_THROW(RandomWaypointMobility({0, 0}, bad_pause, common::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Mobility, GroupMembersTrackAnchorWithinField) {
+  const Field field{300, 300};
+  RandomWaypointMobility::Params ap;
+  ap.field = field;
+  auto anchor = std::make_shared<RandomWaypointMobility>(Vec2{150, 150}, ap,
+                                                         common::Rng(7));
+  GroupMobility member_a(anchor, {12, -8}, field);
+  GroupMobility member_b(anchor, {-20, 15}, field);
+  for (int s = 0; s < 300; s += 5) {
+    TimePoint t{static_cast<int64_t>(s) * 1000000};
+    Vec2 ap_pos = anchor->position_at(t);
+    Vec2 a = member_a.position_at(t);
+    Vec2 b = member_b.position_at(t);
+    // Members are the clamped anchor + offset, so they stay in the field
+    // and within the offset radius of the anchor.
+    EXPECT_TRUE(field.contains(a));
+    EXPECT_TRUE(field.contains(b));
+    EXPECT_EQ(a, field.clamp(ap_pos + Vec2{12, -8}));
+    EXPECT_LE(distance(a, ap_pos), std::hypot(12.0, 8.0) + 1e-9);
+    EXPECT_LE(distance(a, b), std::hypot(32.0, 23.0) + 1e-9);
+  }
+  EXPECT_EQ(member_a.max_speed(), anchor->max_speed());
+}
+
+TEST(Mobility, GroupRejectsNullAnchor) {
+  EXPECT_THROW(GroupMobility(nullptr, {0, 0}, Field{100, 100}),
                std::invalid_argument);
 }
 

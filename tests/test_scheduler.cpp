@@ -1,6 +1,8 @@
 // Unit tests for the discrete-event scheduler.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/scheduler.hpp"
 
 namespace dapes::sim {
@@ -111,6 +113,64 @@ TEST(Scheduler, PendingExcludesCancelled) {
   EXPECT_EQ(sched.pending(), 2u);
   sched.cancel(a);
   EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(Scheduler, CancelledFarFutureEventsCompacted) {
+  // The 1000-node-scale failure mode: masses of far-future retransmit
+  // timers get cancelled long before they would pop, so lazy pop-time
+  // removal never reclaims them. Compaction must keep the heap bounded.
+  Scheduler sched;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(sched.schedule(Duration::seconds(1000.0 + i), [] {}));
+  }
+  EXPECT_EQ(sched.queued(), 10000u);
+  for (EventId id : ids) sched.cancel(id);
+  EXPECT_EQ(sched.pending(), 0u);
+  // Everything was cancelled; compaction leaves at most the small
+  // below-floor residue it does not bother with.
+  EXPECT_LT(sched.queued(), 64u);
+}
+
+TEST(Scheduler, RetransmitTimerChurnStaysBounded) {
+  // Schedule-then-cancel churn (the retransmit-timer pattern): one live
+  // timer at any moment, 100k cancelled ones over time.
+  Scheduler sched;
+  EventId pending{};
+  int fired = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (pending.valid()) sched.cancel(pending);
+    pending = sched.schedule(Duration::seconds(3600.0), [&] { ++fired; });
+    EXPECT_LE(sched.queued(), 64u + 1u) << "iteration " << i;
+  }
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, CompactionPreservesOrderAndSurvivors) {
+  Scheduler sched;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  // Interleave survivors with a cancelled majority big enough to trip
+  // compaction, then check the survivors still fire in time order.
+  for (int i = 0; i < 200; ++i) {
+    int at_ms = 1000 - i;  // reverse order to exercise the heap
+    if (i % 10 == 0) {
+      sched.schedule(Duration::milliseconds(at_ms),
+                     [&order, at_ms] { order.push_back(at_ms); });
+    } else {
+      doomed.push_back(sched.schedule(Duration::milliseconds(at_ms), [] {
+        ADD_FAILURE() << "cancelled event fired";
+      }));
+    }
+  }
+  for (EventId id : doomed) sched.cancel(id);
+  EXPECT_EQ(sched.pending(), 20u);
+  sched.run();
+  ASSERT_EQ(order.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(sched.queued(), 0u);
 }
 
 TEST(Scheduler, SelfReschedulingChainBounded) {
