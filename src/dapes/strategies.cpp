@@ -2,6 +2,29 @@
 
 namespace dapes::core {
 
+namespace {
+
+/// Shared expiry sweep for the per-name soft-state tables: erase entries
+/// stamped strictly before @p cutoff (or equal, when @p inclusive), at
+/// most once per @p interval and only once the table has outgrown
+/// @p cap — amortized O(1) per insert, since entries younger than the
+/// interval cannot be ripe yet.
+void sweep_if_due(std::unordered_map<ndn::Name, TimePoint>& table,
+                  TimePoint& last_sweep, TimePoint now, Duration interval,
+                  size_t cap, TimePoint cutoff, bool inclusive) {
+  if (table.size() <= cap || now - last_sweep < interval) return;
+  last_sweep = now;
+  for (auto it = table.begin(); it != table.end();) {
+    if (it->second < cutoff || (inclusive && it->second == cutoff)) {
+      it = table.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace
+
 PureForwarderStrategy::PureForwarderStrategy(sim::Scheduler& sched,
                                              common::Rng rng, Params params)
     : sched_(sched), rng_(rng), params_(params) {}
@@ -25,7 +48,25 @@ void PureForwarderStrategy::relay(Forwarder& fw, const Interest& interest) {
       static_cast<uint64_t>(params_.forward_delay_window.us) + 1)));
   Name name = interest.name();
   Interest copy = interest;
-  relayed_.insert(name);
+  relayed_[name] = sched_.now();
+  if (interest.lifetime() > max_relayed_lifetime_) {
+    max_relayed_lifetime_ = interest.lifetime();
+  }
+  // Sweep stale bookkeeping: relays satisfied by returning data never
+  // reach on_interest_timeout, so without this the table grows for the
+  // whole trial. An entry can only matter until its PIT entry times out
+  // (at most one lifetime after the relay; doubled for margin), so the
+  // cutoff never outruns a *pending* timer. One corner is deliberately
+  // altered from the pre-sweep code: a stale satisfied-relay entry used
+  // to make a later, unrelayed timeout of the same name suppress the
+  // name anyway; once swept it no longer does (phantom suppression from
+  // long-ago relays — the sweep only fires past cap + horizon, which
+  // paper-scale runs never reach; their outputs stay byte-identical).
+  Duration horizon = params_.relay_horizon;
+  if (max_relayed_lifetime_ * 2 > horizon) horizon = max_relayed_lifetime_ * 2;
+  sweep_if_due(relayed_, last_relayed_sweep_, sched_.now(), horizon,
+               params_.name_state_cap, sched_.now() - horizon,
+               /*inclusive=*/false);
   ++forwards_;
   sched_.schedule(delay, [this, &fw, out, copy, name] {
     // Only relay if still pending: the data may have arrived (or the
@@ -88,17 +129,11 @@ void PureForwarderStrategy::on_interest_timeout(Forwarder& /*fw*/,
   // Forwarded but nothing came back: the data is (currently) not
   // reachable through us — suppress this name for a while (soft state).
   suppressed_until_[name] = sched_.now() + params_.suppression;
-  // Lazy pruning: drop stale entries so the table stays bounded.
-  if (suppressed_until_.size() > 4096) {
-    for (auto sit = suppressed_until_.begin();
-         sit != suppressed_until_.end();) {
-      if (sit->second <= sched_.now()) {
-        sit = suppressed_until_.erase(sit);
-      } else {
-        ++sit;
-      }
-    }
-  }
+  // Expired suppression timers answer false anyway; sweeping them is
+  // unobservable (values here are expiry times, so cutoff = now).
+  sweep_if_due(suppressed_until_, last_suppressed_sweep_, sched_.now(),
+               params_.suppression, params_.name_state_cap, sched_.now(),
+               /*inclusive=*/true);
 }
 
 bool PureForwarderStrategy::cache_unsolicited(Forwarder& /*fw*/,
@@ -141,17 +176,12 @@ void DapesIntermediateStrategy::on_overhear_data(Forwarder& /*fw*/,
                                                  const ndn::Data& data) {
   if (is_control_name(data.name())) return;
   recent_data_[data.name()] = sched_.now();
-  if (recent_data_.size() > iparams_.recent_data_cap) {
-    // Evict the stalest entries (simple linear sweep; cap is small).
-    TimePoint cutoff = sched_.now() - iparams_.knowledge_ttl;
-    for (auto it = recent_data_.begin(); it != recent_data_.end();) {
-      if (it->second < cutoff) {
-        it = recent_data_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
+  // Entries past the knowledge TTL already answer as missing; the
+  // strict cutoff keeps stamps exactly at the TTL boundary, which
+  // packet_availability still counts as fresh.
+  sweep_if_due(recent_data_, last_recent_sweep_, sched_.now(),
+               iparams_.knowledge_ttl, iparams_.recent_data_cap,
+               sched_.now() - iparams_.knowledge_ttl, /*inclusive=*/false);
 }
 
 DapesIntermediateStrategy::Availability

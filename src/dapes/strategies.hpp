@@ -18,8 +18,8 @@
 #pragma once
 
 #include <map>
-#include <set>
 #include <string>
+#include <unordered_map>
 
 #include "common/rng.hpp"
 #include "dapes/messages.hpp"
@@ -50,6 +50,20 @@ class PureForwarderStrategy : public ndn::ForwardingStrategy {
     /// Overheard Data is cached in the CS (that is the point of a pure
     /// forwarder); disable only for ablation.
     bool cache_overheard = true;
+    /// Soft-state bound: when a per-name table (suppression timers, relay
+    /// bookkeeping) outgrows this, entries whose time is up are swept.
+    /// Sweeps are throttled to one full scan per expiry interval, so the
+    /// amortized cost per insert is O(1). Below the cap nothing is ever
+    /// dropped; past it, only expired suppression timers (unobservable)
+    /// and relay entries past the horizon (see relay() on the one stale
+    /// corner this retires) go.
+    size_t name_state_cap = 4096;
+    /// Relay bookkeeping older than this is garbage — the PIT entry was
+    /// satisfied (so no timeout will ever consult it) or timed out long
+    /// ago. The sweep additionally keeps anything younger than twice the
+    /// largest Interest lifetime it has relayed, so a scenario with
+    /// longer-lived Interests cannot lose a pending suppression timer.
+    Duration relay_horizon = Duration::seconds(60.0);
   };
 
   PureForwarderStrategy(sim::Scheduler& sched, common::Rng rng, Params params);
@@ -69,6 +83,10 @@ class PureForwarderStrategy : public ndn::ForwardingStrategy {
   /// complement of the paper's "83% of forwarded Interests successfully
   /// brought data back" accuracy metric.
   uint64_t relay_timeouts() const { return relay_timeouts_; }
+
+  /// Soft-state sizes, bounded by the expiry sweeps (tests + Table-I).
+  size_t suppressed_names() const { return suppressed_until_.size(); }
+  size_t relayed_names() const { return relayed_.size(); }
 
  protected:
   /// Relay decision for a network Interest with no better knowledge:
@@ -95,9 +113,18 @@ class PureForwarderStrategy : public ndn::ForwardingStrategy {
  private:
   static FaceId wifi_face_of(Forwarder& fw);
 
-  /// Names we relayed and are waiting on (-> suppression on timeout).
-  std::set<Name> relayed_;
-  std::map<Name, TimePoint> suppressed_until_;
+  /// Names we relayed and are waiting on (-> suppression on timeout),
+  /// stamped with the relay time: satisfied relays never time out, so
+  /// they are swept once they are older than any possible PIT lifetime.
+  /// Keyed on the Name's cached hash; nothing order-dependent reads
+  /// either table, so hashed containers change no observable behaviour.
+  std::unordered_map<Name, TimePoint> relayed_;
+  std::unordered_map<Name, TimePoint> suppressed_until_;
+  /// Sweep throttles + the largest lifetime ever relayed (bounds how
+  /// long a relayed_ entry may still matter).
+  TimePoint last_relayed_sweep_{};
+  TimePoint last_suppressed_sweep_{};
+  Duration max_relayed_lifetime_{};
 };
 
 /// Short-lived knowledge an intermediate DAPES node keeps per collection.
@@ -148,12 +175,19 @@ class DapesIntermediateStrategy : public PureForwarderStrategy {
   uint64_t knowledge_forwards() const { return knowledge_forwards_; }
   uint64_t knowledge_suppressions() const { return knowledge_suppressions_; }
 
+  /// Soft-state size, bounded by the TTL sweep (tests + Table-I).
+  size_t recent_data_names() const { return recent_data_.size(); }
+
  private:
   void learn_bitmap(const BitmapMessage& msg, TimePoint now);
 
   IntermediateParams iparams_;
+  /// Ordered: packet_availability and the control-relay path scan this
+  /// map and act on the first prefix match, so iteration order is
+  /// observable behaviour.
   std::map<Name, CollectionKnowledge> knowledge_;
-  std::map<Name, TimePoint> recent_data_;
+  std::unordered_map<Name, TimePoint> recent_data_;
+  TimePoint last_recent_sweep_{};
   uint64_t knowledge_forwards_ = 0;
   uint64_t knowledge_suppressions_ = 0;
 };

@@ -35,18 +35,21 @@ void WifiFace::send_data(const Data& data) {
       rng_.next_below(static_cast<uint64_t>(data_window_.us) + 1)));
   Name name = data.name();
   sim::EventId ev = sched_.schedule(delay, [this, name] { transmit_data(name); });
-  pending_data_.emplace(name, std::make_pair(data, ev));
+  // Slice-sharing copy into a shared handle: content and cached wire stay
+  // views into the original buffer.
+  pending_data_.emplace(std::move(name),
+                        std::make_pair(std::make_shared<const Data>(data), ev));
 }
 
 void WifiFace::transmit_data(const Name& name) {
   auto it = pending_data_.find(name);
   if (it == pending_data_.end()) return;
-  Data data = std::move(it->second.first);
+  DataPtr data = std::move(it->second.first);
   pending_data_.erase(it);
   ++data_sent_;
   auto frame = std::make_shared<sim::Frame>();
   frame->sender = node_;
-  frame->payload = data.wire();
+  frame->payload = data->wire();
   frame->kind = "ndn-data";
   radio_.send(std::move(frame));
 }

@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "common/rng.hpp"
@@ -140,7 +140,10 @@ class WifiFace final : public Face {
   Duration data_window_;
   sim::Radio::SendCompleteCallback next_interest_cb_;
   /// Pending delayed Data sends, cancellable by overheard duplicates.
-  std::map<Name, std::pair<Data, sim::EventId>> pending_data_;
+  /// Shared DataPtr handles (like the CS): queueing a retransmission
+  /// never deep-copies the packet — the cached wire slice rides along.
+  /// Keyed by the Name's cached hash; nothing iterates this map.
+  std::unordered_map<Name, std::pair<DataPtr, sim::EventId>> pending_data_;
   uint64_t interests_sent_ = 0;
   uint64_t data_sent_ = 0;
   uint64_t data_suppressed_ = 0;

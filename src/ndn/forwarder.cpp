@@ -19,7 +19,10 @@ void MulticastStrategy::after_receive_interest(Forwarder& fw, FaceId in_face,
 Forwarder::Forwarder(sim::Scheduler& sched, Options options)
     : sched_(sched),
       options_(options),
-      cs_(options.cs_capacity),
+      tree_(std::make_shared<NameTree>()),
+      cs_(options.cs_capacity, tree_),
+      pit_(tree_),
+      fib_(tree_),
       strategy_(std::make_unique<MulticastStrategy>()) {}
 
 FaceId Forwarder::add_face(std::shared_ptr<Face> face) {

@@ -100,6 +100,9 @@ class Forwarder {
   ContentStore& cs() { return cs_; }
   Pit& pit() { return pit_; }
   Fib& fib() { return fib_; }
+  /// The NameTree all three tables share: a name's CS, PIT and FIB state
+  /// hang off one entry, so a pipeline hop probes each table in O(1).
+  NameTree& name_tree() { return *tree_; }
   sim::Scheduler& scheduler() { return sched_; }
   const Stats& stats() const { return stats_; }
 
@@ -115,6 +118,7 @@ class Forwarder {
 
   sim::Scheduler& sched_;
   Options options_;
+  std::shared_ptr<NameTree> tree_;  // shared by cs_/pit_/fib_; declared first
   ContentStore cs_;
   Pit pit_;
   Fib fib_;

@@ -5,6 +5,38 @@
 
 namespace dapes::ndn {
 
+namespace {
+
+// The historic std::hash<Name> scheme: FNV-1a over component bytes with a
+// 0xff separator before each component. Kept bit-for-bit stable so
+// hash-derived fingerprints (PIT dead-nonce list) do not shift.
+constexpr size_t kFnvOffset = 1469598103934665603ULL;
+constexpr size_t kFnvPrime = 1099511628211ULL;
+
+size_t fnv_extend(size_t h, const Component& c) {
+  h ^= 0xff;  // separator: /ab/c and /a/bc hash differently
+  h *= kFnvPrime;
+  for (uint8_t b : c.value()) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+void Name::ensure_hashes() const {
+  if (has_hash_cache()) return;
+  hashes_.clear();
+  hashes_.reserve(components_.size() + 1);
+  size_t h = kFnvOffset;
+  hashes_.push_back(h);
+  for (const auto& c : components_) {
+    h = fnv_extend(h, c);
+    hashes_.push_back(h);
+  }
+}
+
 Component Component::from_number(uint64_t number) {
   return Component(std::to_string(number));
 }
@@ -40,18 +72,19 @@ Name::Name(std::initializer_list<std::string_view> components) {
 }
 
 Name& Name::append(Component c) {
+  if (has_hash_cache()) {
+    hashes_.push_back(fnv_extend(hashes_.back(), c));
+  } else {
+    hashes_.clear();  // a stale partial cache must not survive the append
+  }
   components_.push_back(std::move(c));
   return *this;
 }
 
-Name& Name::append(std::string_view str) {
-  components_.emplace_back(str);
-  return *this;
-}
+Name& Name::append(std::string_view str) { return append(Component(str)); }
 
 Name& Name::append_number(uint64_t number) {
-  components_.push_back(Component::from_number(number));
-  return *this;
+  return append(Component::from_number(number));
 }
 
 Name Name::appended(std::string_view str) const {
@@ -70,6 +103,9 @@ Name Name::prefix(size_t n) const {
   Name out;
   n = std::min(n, components_.size());
   out.components_.assign(components_.begin(), components_.begin() + n);
+  if (has_hash_cache()) {
+    out.hashes_.assign(hashes_.begin(), hashes_.begin() + n + 1);
+  }
   return out;
 }
 

@@ -4,6 +4,21 @@
 // ("/damaged-bridge-1533783192/bridge-picture/0"). DAPES relies on the
 // hierarchy: collection prefix -> file name -> packet sequence number, so
 // prefix tests and numeric final components get first-class helpers.
+//
+// Names carry a lazily computed *incremental* hash cache: one FNV-1a pass
+// over the component bytes yields the hash of every prefix depth
+// (`prefix_hash(n)`), with the full-name hash as the last step. The data
+// plane (src/ndn/name_tree.hpp) is keyed on these hashes, so a forwarder
+// hop probes its tables without re-reading name bytes, and longest-prefix
+// match never materializes prefix Names. The cache is extended in place by
+// append (the next prefix hash derives from the previous one), inherited
+// by prefix(), seeded by the wire decoder, and recomputed on demand
+// otherwise. Hash values are identical to the historic std::hash<Name>
+// FNV-1a scheme, so fingerprints derived from them are stable.
+//
+// The cache is `mutable` and filled on first use: a const Name is safe to
+// share within one simulation trial (single-threaded), not across trial
+// threads.
 #pragma once
 
 #include <cstdint>
@@ -54,7 +69,8 @@ class Name {
 
   Name(std::initializer_list<std::string_view> components);
 
-  /// Builder-style append; returns *this for chaining.
+  /// Builder-style append; returns *this for chaining. A warm hash cache
+  /// is extended incrementally (one component's bytes), never recomputed.
   Name& append(Component c);
   Name& append(std::string_view str);
   Name& append_number(uint64_t number);
@@ -68,7 +84,8 @@ class Name {
   const Component& at(size_t i) const { return components_.at(i); }
   const Component& operator[](size_t i) const { return components_[i]; }
 
-  /// First @p n components.
+  /// First @p n components. Inherits the matching slice of a warm hash
+  /// cache.
   Name prefix(size_t n) const;
 
   /// Drop the last @p n components (default 1).
@@ -79,30 +96,49 @@ class Name {
 
   std::string to_uri() const;
 
-  bool operator==(const Name&) const = default;
-  auto operator<=>(const Name&) const = default;
+  /// FNV-1a hash of the whole name (cached; one pass on first use).
+  size_t hash() const {
+    ensure_hashes();
+    return hashes_.back();
+  }
+
+  /// Hash of the first @p n components (clamped), from the same cached
+  /// pass — prefix probes cost no extra hashing.
+  size_t prefix_hash(size_t n) const {
+    ensure_hashes();
+    return hashes_[n < components_.size() ? n : components_.size()];
+  }
+
+  /// Whether the hash cache is populated (tests and instrumentation).
+  bool has_hash_cache() const {
+    return hashes_.size() == components_.size() + 1;
+  }
+
+  /// Equality and ordering are component-wise; the hash cache is ignored.
+  bool operator==(const Name& other) const {
+    return components_ == other.components_;
+  }
+  auto operator<=>(const Name& other) const {
+    return components_ <=> other.components_;
+  }
 
   const std::vector<Component>& components() const { return components_; }
 
  private:
+  void ensure_hashes() const;
+
   std::vector<Component> components_;
+  /// hashes_[i] = FNV-1a over the first i components; valid iff
+  /// size() + 1 entries are present (empty = not computed yet).
+  mutable std::vector<size_t> hashes_;
 };
 
 }  // namespace dapes::ndn
 
 template <>
 struct std::hash<dapes::ndn::Name> {
-  size_t operator()(const dapes::ndn::Name& name) const noexcept {
-    // FNV-1a over all component bytes with separators.
-    size_t h = 1469598103934665603ULL;
-    auto mix = [&h](uint8_t b) {
-      h ^= b;
-      h *= 1099511628211ULL;
-    };
-    for (const auto& c : name.components()) {
-      mix(0xff);  // separator
-      for (uint8_t b : c.value()) mix(b);
-    }
-    return h;
+  // Not noexcept: filling a cold hash cache allocates.
+  size_t operator()(const dapes::ndn::Name& name) const {
+    return name.hash();
   }
 };

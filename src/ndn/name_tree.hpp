@@ -1,0 +1,144 @@
+// Shared name-tree data plane (NFD's NameTree, sized for DAPES).
+//
+// One hash table holds every name the forwarder's tables care about. Each
+// entry is keyed by the Name's cached FNV-1a hash (which encodes the
+// component count via separators, so (depth, hash) collisions across
+// depths are already rare; candidates are verified component-wise). The
+// entries double as a component trie: every entry points at its parent
+// (the one-component-shorter prefix) and keeps its children sorted by
+// last component, so the trie enumerates names in exactly the order a
+// std::map<Name, ...> would.
+//
+// CS, PIT and FIB state hang off the *same* entry (pointer-sized slots,
+// allocated on demand), which is what makes the data plane cheap:
+//
+//   * exact match            — one hash probe (Name::hash is cached);
+//   * prefix probe at depth d — one probe with Name::prefix_hash(d),
+//     no prefix Name is ever materialized;
+//   * all-prefixes walks (PIT matches_for_data, FIB longest-prefix
+//     match) — O(depth) probes off one cached hash pass;
+//   * CS LRU — an intrusive entry-pointer list, no Name copies;
+//   * ordered prefix scans (CanBePrefix lookups) — pre-order trie
+//     descent, identical visit order to the std::map reference.
+//
+// Entries with no payloads and no children are removed eagerly
+// (cleanup()), so the table never outgrows the live table state.
+// src/ndn/tables.hpp builds the public ContentStore/Pit/Fib on top;
+// src/ndn/tables_ref.hpp retains the std::map reference implementation
+// the equivalence suite (tests/test_name_tree.cpp) compares against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+#include "ndn/packet.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dapes::ndn {
+
+using FaceId = uint32_t;
+using common::TimePoint;
+
+/// One pending Interest: who asked, which nonces were seen, when it dies.
+struct PitEntry {
+  Name name;
+  bool can_be_prefix = false;
+  TimePoint expiry{};
+  /// Faces the Interest arrived on (data goes back to these).
+  std::vector<FaceId> in_faces;
+  /// Set when this node relayed the Interest onto the broadcast medium.
+  /// On a broadcast face the upstream (data source) and downstream
+  /// (requester) share one face; a relaying node must re-broadcast the
+  /// returning Data exactly when it forwarded the Interest itself.
+  bool relayed_to_network = false;
+  /// Nonces seen for this name — duplicates indicate loops.
+  std::unordered_set<uint32_t> nonces;
+  sim::EventId expiry_event{};
+};
+
+class NameTree {
+ public:
+  struct Entry;
+
+  /// CS state: shared Data handle, expiry, intrusive LRU links.
+  struct CsState {
+    DataPtr data;
+    TimePoint expires{};
+    Entry* lru_prev = nullptr;
+    Entry* lru_next = nullptr;
+  };
+
+  /// FIB state: the next-hop set for this exact prefix.
+  struct FibState {
+    std::set<FaceId> faces;
+  };
+
+  struct Entry {
+    Name name;    // full name of this node; hash cache warm
+    size_t hash;  // == name.hash(), stored for cheap rehash/probe
+    Entry* parent = nullptr;         // one-component-shorter prefix
+    std::vector<Entry*> children;    // sorted by last component
+    Entry* hash_next = nullptr;      // bucket chain
+
+    // Table payloads; an entry lives while any slot (or a child) does.
+    std::unique_ptr<CsState> cs;
+    std::unique_ptr<PitEntry> pit;
+    std::unique_ptr<FibState> fib;
+    /// CS entries at-or-below this entry (maintained by the ContentStore
+    /// along the ancestor chain). CanBePrefix scans skip CS-free
+    /// subtrees, so a shared tree dense in PIT/FIB state costs a prefix
+    /// query nothing — it stays proportional to the CS entries in range,
+    /// like the std::map reference.
+    size_t cs_in_subtree = 0;
+
+    size_t depth() const { return name.size(); }
+    bool has_payload() const { return cs || pit || fib; }
+  };
+
+  NameTree() = default;
+  ~NameTree();
+  NameTree(const NameTree&) = delete;
+  NameTree& operator=(const NameTree&) = delete;
+
+  /// Find-or-insert the entry for @p name, creating payload-free ancestor
+  /// entries up to the root. One probe when present; O(depth) on insert.
+  Entry* lookup(const Name& name);
+
+  /// Exact-match probe; nullptr when absent.
+  Entry* find_exact(const Name& name) const;
+
+  /// Probe for the @p depth-component prefix of @p name using its cached
+  /// per-prefix hash — no prefix Name is materialized.
+  Entry* find_prefix(const Name& name, size_t depth) const;
+
+  /// Remove @p entry and then every ancestor left with no payload and no
+  /// children. Call after clearing a payload slot; entries still carrying
+  /// state are left untouched.
+  void cleanup(Entry* entry);
+
+  /// Pre-order, component-ordered walk of the whole trie — the iteration
+  /// order of the std::map reference tables.
+  void enumerate(const std::function<void(const Entry&)>& fn) const;
+
+  /// Entry count, including payload-free interior entries.
+  size_t size() const { return size_; }
+
+ private:
+  size_t bucket_of(size_t hash) const {
+    return hash & (buckets_.size() - 1);
+  }
+  void grow_if_needed();
+  /// The entry whose name equals the first @p depth components of
+  /// @p name, or nullptr. @p hash must be name.prefix_hash(depth).
+  Entry* probe(size_t hash, const Name& name, size_t depth) const;
+
+  std::vector<Entry*> buckets_;  // power-of-two size; empty until first use
+  size_t size_ = 0;
+};
+
+}  // namespace dapes::ndn

@@ -34,6 +34,9 @@ Name parse_name(BytesView value) {
     }
     name.append(Component(Bytes(e.value.begin(), e.value.end())));
   }
+  // Seed the incremental hash cache while the component bytes are hot:
+  // every decoded packet arrives at the data plane ready for hash probes.
+  name.hash();
   return name;
 }
 

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "common/buffer.hpp"
@@ -205,7 +206,16 @@ class Data {
   mutable BufferSlice wire_;
 };
 
+/// Shared, immutable Data handle: the CS, the forwarding pipeline,
+/// application faces and queued retransmissions pass one decoded packet
+/// around by reference count — its content and cached wire stay views
+/// into the original frame buffer.
+using DataPtr = std::shared_ptr<const Data>;
+
 /// Name TLV helpers shared by every codec that embeds names.
+/// parse_name seeds the Name's incremental hash cache while the component
+/// bytes are hot, so table probes on the forwarding path never re-read
+/// them.
 void append_name(tlv::Writer& w, const Name& name);
 Name parse_name(BytesView value);
 

@@ -2,117 +2,180 @@
 
 namespace dapes::ndn {
 
+// ------------------------------------------------------------ ContentStore
+
+void ContentStore::lru_push_back(NameTree::Entry* e) {
+  NameTree::CsState* cs = e->cs.get();
+  cs->lru_prev = lru_tail_;
+  cs->lru_next = nullptr;
+  if (lru_tail_ != nullptr) {
+    lru_tail_->cs->lru_next = e;
+  } else {
+    lru_head_ = e;
+  }
+  lru_tail_ = e;
+}
+
+void ContentStore::lru_unlink(NameTree::Entry* e) {
+  NameTree::CsState* cs = e->cs.get();
+  if (cs->lru_prev != nullptr) {
+    cs->lru_prev->cs->lru_next = cs->lru_next;
+  } else {
+    lru_head_ = cs->lru_next;
+  }
+  if (cs->lru_next != nullptr) {
+    cs->lru_next->cs->lru_prev = cs->lru_prev;
+  } else {
+    lru_tail_ = cs->lru_prev;
+  }
+  cs->lru_prev = cs->lru_next = nullptr;
+}
+
+void ContentStore::touch(NameTree::Entry* e) {
+  lru_unlink(e);
+  lru_push_back(e);
+}
+
+void ContentStore::erase(NameTree::Entry* e) {
+  content_bytes_ -= e->cs->data->content().size();
+  lru_unlink(e);
+  e->cs.reset();
+  --size_;
+  for (NameTree::Entry* a = e; a != nullptr; a = a->parent) --a->cs_in_subtree;
+  tree_->cleanup(e);
+}
+
 bool ContentStore::refresh(const Name& name, TimePoint expires) {
-  auto it = entries_.find(name);
-  if (it == entries_.end()) return false;
-  it->second.expires = expires;
-  touch(name);
+  NameTree::Entry* e = tree_->find_exact(name);
+  if (e == nullptr || e->cs == nullptr) return false;
+  e->cs->expires = expires;
+  touch(e);
   return true;
 }
 
 void ContentStore::insert(DataPtr data, TimePoint now) {
   if (!data) return;
   if (refresh(data->name(), now + data->freshness())) return;
-  if (entries_.size() >= capacity_) {
+  if (size_ >= capacity_) {
     evict_one();
   }
   TimePoint expires = now + data->freshness();
-  lru_.push_back(data->name());
-  auto lru_it = std::prev(lru_.end());
+  NameTree::Entry* e = tree_->lookup(data->name());
+  e->cs = std::make_unique<NameTree::CsState>();
   content_bytes_ += data->content().size();
-  Name name = data->name();
-  entries_.emplace(std::move(name), Entry{std::move(data), expires, lru_it});
+  e->cs->data = std::move(data);
+  e->cs->expires = expires;
+  for (NameTree::Entry* a = e; a != nullptr; a = a->parent) ++a->cs_in_subtree;
+  lru_push_back(e);
+  ++size_;
 }
 
 DataPtr ContentStore::find(const Name& name, bool can_be_prefix,
                            TimePoint now) {
-  auto expired = [&](const Entry& e) { return e.expires <= now; };
   if (!can_be_prefix) {
-    auto it = entries_.find(name);
-    if (it == entries_.end()) return nullptr;
-    if (expired(it->second)) {
-      content_bytes_ -= it->second.data->content().size();
-      lru_.erase(it->second.lru_it);
-      entries_.erase(it);
+    NameTree::Entry* e = tree_->find_exact(name);
+    if (e == nullptr || e->cs == nullptr) return nullptr;
+    if (e->cs->expires <= now) {
+      erase(e);
       return nullptr;
     }
-    touch(name);
-    return it->second.data;
+    touch(e);
+    return e->cs->data;
   }
-  // Prefix query: first non-expired entry at or after `name` that it
-  // prefixes.
-  auto it = entries_.lower_bound(name);
-  while (it != entries_.end() && name.is_prefix_of(it->first)) {
-    if (expired(it->second)) {
-      content_bytes_ -= it->second.data->content().size();
-      lru_.erase(it->second.lru_it);
-      it = entries_.erase(it);
-      continue;
-    }
-    touch(it->first);
-    return it->second.data;
+
+  // Prefix query: first non-expired entry at or under `name` in component
+  // order. Pre-order descent over sorted children visits candidates in
+  // exactly the std::map reference's iteration order; expired entries
+  // seen before the hit are evicted, as the reference does while
+  // scanning. (Eviction is deferred until the scan ends so tree cleanup
+  // cannot disturb the traversal — the same entries end up erased.)
+  NameTree::Entry* base = tree_->find_exact(name);
+  if (base == nullptr || base->cs_in_subtree == 0) return nullptr;
+  std::vector<NameTree::Entry*> expired;
+  NameTree::Entry* hit = scan_prefix(base, now, expired);
+  for (NameTree::Entry* e : expired) erase(e);
+  if (hit == nullptr) return nullptr;
+  touch(hit);
+  return hit->cs->data;
+}
+
+NameTree::Entry* ContentStore::scan_prefix(
+    NameTree::Entry* e, TimePoint now,
+    std::vector<NameTree::Entry*>& expired) {
+  if (e->cs != nullptr) {
+    if (e->cs->expires > now) return e;
+    expired.push_back(e);
+  }
+  for (NameTree::Entry* child : e->children) {
+    // Skipping CS-free subtrees (PIT/FIB-only state) does not change
+    // which CS entries are visited or their order.
+    if (child->cs_in_subtree == 0) continue;
+    if (NameTree::Entry* hit = scan_prefix(child, now, expired)) return hit;
   }
   return nullptr;
 }
 
-void ContentStore::touch(const Name& name) {
-  auto it = entries_.find(name);
-  if (it == entries_.end()) return;
-  lru_.erase(it->second.lru_it);
-  lru_.push_back(name);
-  it->second.lru_it = std::prev(lru_.end());
+void ContentStore::evict_one() {
+  if (lru_head_ == nullptr) return;
+  erase(lru_head_);
 }
 
-void ContentStore::evict_one() {
-  if (lru_.empty()) return;
-  Name victim = lru_.front();
-  lru_.pop_front();
-  auto it = entries_.find(victim);
-  if (it != entries_.end()) {
-    content_bytes_ -= it->second.data->content().size();
-    entries_.erase(it);
-  }
-}
+// -------------------------------------------------------------------- Pit
 
 PitEntry* Pit::find(const Name& name) {
-  auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : &it->second;
+  NameTree::Entry* e = tree_->find_exact(name);
+  return (e == nullptr) ? nullptr : e->pit.get();
 }
 
 std::vector<Name> Pit::matches_for_data(const Name& data_name) const {
   std::vector<Name> out;
   // Exact match.
-  if (entries_.contains(data_name)) out.push_back(data_name);
-  // CanBePrefix entries: every PIT name that prefixes data_name. Walk the
-  // chain of proper prefixes (data names are shallow — collection/file/seq
-  // — so this is at most a handful of lookups).
+  if (NameTree::Entry* e = tree_->find_exact(data_name);
+      e != nullptr && e->pit != nullptr) {
+    out.push_back(data_name);
+  }
+  // CanBePrefix entries: every proper prefix of data_name, probed off its
+  // cached per-prefix hashes — O(depth), no prefix Name materialized
+  // unless it matches.
   for (size_t n = data_name.size(); n-- > 0;) {
-    Name prefix = data_name.prefix(n);
-    auto it = entries_.find(prefix);
-    if (it != entries_.end() && it->second.can_be_prefix) {
-      out.push_back(prefix);
+    NameTree::Entry* e = tree_->find_prefix(data_name, n);
+    if (e != nullptr && e->pit != nullptr && e->pit->can_be_prefix) {
+      out.push_back(e->pit->name);
     }
   }
   return out;
 }
 
 PitEntry& Pit::insert(const Name& name) {
-  auto [it, inserted] = entries_.try_emplace(name);
-  if (inserted) it->second.name = name;
-  return it->second;
+  NameTree::Entry* e = tree_->lookup(name);
+  if (e->pit == nullptr) {
+    e->pit = std::make_unique<PitEntry>();
+    e->pit->name = name;
+    ++size_;
+  }
+  return *e->pit;
 }
 
-void Pit::erase(const Name& name) { entries_.erase(name); }
+void Pit::erase(const Name& name) {
+  NameTree::Entry* e = tree_->find_exact(name);
+  if (e == nullptr || e->pit == nullptr) return;
+  e->pit.reset();
+  --size_;
+  tree_->cleanup(e);
+}
 
 namespace {
 uint64_t nonce_fingerprint(const Name& name, uint32_t nonce) {
-  return std::hash<Name>{}(name) ^ (0x9e3779b97f4a7c15ULL * nonce);
+  // name.hash() is cached — recording a dead nonce costs no re-hash.
+  return name.hash() ^ (0x9e3779b97f4a7c15ULL * nonce);
 }
 }  // namespace
 
 bool Pit::has_nonce(const Name& name, uint32_t nonce) const {
-  auto it = entries_.find(name);
-  if (it != entries_.end() && it->second.nonces.contains(nonce)) return true;
+  NameTree::Entry* e = tree_->find_exact(name);
+  if (e != nullptr && e->pit != nullptr && e->pit->nonces.contains(nonce)) {
+    return true;
+  }
   return dead_set_.contains(nonce_fingerprint(name, nonce));
 }
 
@@ -126,24 +189,35 @@ void Pit::record_dead_nonce(const Name& name, uint32_t nonce) {
   }
 }
 
+// -------------------------------------------------------------------- Fib
+
 void Fib::add_route(const Name& prefix, FaceId face) {
-  routes_[prefix].insert(face);
+  NameTree::Entry* e = tree_->lookup(prefix);
+  if (e->fib == nullptr) {
+    e->fib = std::make_unique<NameTree::FibState>();
+    ++size_;
+  }
+  e->fib->faces.insert(face);
 }
 
 void Fib::remove_route(const Name& prefix, FaceId face) {
-  auto it = routes_.find(prefix);
-  if (it == routes_.end()) return;
-  it->second.erase(face);
-  if (it->second.empty()) routes_.erase(it);
+  NameTree::Entry* e = tree_->find_exact(prefix);
+  if (e == nullptr || e->fib == nullptr) return;
+  e->fib->faces.erase(face);
+  if (e->fib->faces.empty()) {
+    e->fib.reset();
+    --size_;
+    tree_->cleanup(e);
+  }
 }
 
 std::vector<FaceId> Fib::lookup(const Name& name) const {
-  // Longest prefix match: try progressively shorter prefixes.
+  // Longest prefix match: probe progressively shorter prefixes, each one
+  // a hash probe on the name's cached prefix hashes.
   for (size_t n = name.size() + 1; n-- > 0;) {
-    Name prefix = name.prefix(n);
-    auto it = routes_.find(prefix);
-    if (it != routes_.end() && !it->second.empty()) {
-      return std::vector<FaceId>(it->second.begin(), it->second.end());
+    NameTree::Entry* e = tree_->find_prefix(name, n);
+    if (e != nullptr && e->fib != nullptr && !e->fib->faces.empty()) {
+      return std::vector<FaceId>(e->fib->faces.begin(), e->fib->faces.end());
     }
   }
   return {};
@@ -151,9 +225,15 @@ std::vector<FaceId> Fib::lookup(const Name& name) const {
 
 std::vector<Name> Fib::prefixes_for(FaceId face) const {
   std::vector<Name> out;
-  for (const auto& [prefix, faces] : routes_) {
-    if (faces.contains(face)) out.push_back(prefix);
-  }
+  // Ordered trie walk == the reference's std::map iteration order. On a
+  // Forwarder-shared tree this visits CS/PIT entries too — O(tree), not
+  // O(routes). Fine for its setup-time discovery callers; grow a FIB
+  // side index before ever calling this per packet.
+  tree_->enumerate([&](const NameTree::Entry& e) {
+    if (e.fib != nullptr && e.fib->faces.contains(face)) {
+      out.push_back(e.name);
+    }
+  });
   return out;
 }
 

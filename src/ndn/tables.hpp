@@ -1,34 +1,34 @@
 // NFD-lite data plane tables: Content Store, Pending Interest Table, and
 // Forwarding Information Base (paper Fig. 1).
 //
-// All three are ordered by Name so prefix queries (CanBePrefix lookups,
-// longest-prefix match) are a lower_bound away. Sizes are bounded; the CS
-// evicts LRU, which is what lets pure forwarders serve overheard data
-// (paper §V-A) without unbounded memory.
+// All three are views over one shared NameTree (src/ndn/name_tree.hpp):
+// exact lookups are a single hash probe on the Name's cached hash, prefix
+// queries and longest-prefix match walk cached per-prefix hashes, and the
+// CS LRU is an intrusive list of tree-entry pointers — no Name is copied
+// or compared byte-by-byte on the forwarding path. Semantics are
+// bit-identical to the retained std::map reference implementation
+// (src/ndn/tables_ref.hpp); tests/test_name_tree.cpp proves it on
+// randomized workloads. Sizes are bounded; the CS evicts LRU, which is
+// what lets pure forwarders serve overheard data (paper §V-A) without
+// unbounded memory.
+//
+// Standalone construction (`ContentStore cs;`) gives each table a private
+// tree; a Forwarder passes one shared tree to all three so a name's CS,
+// PIT and FIB state share an entry.
 #pragma once
 
 #include <cstdint>
 #include <list>
-#include <map>
 #include <memory>
-#include <optional>
-#include <set>
 #include <unordered_set>
 #include <vector>
 
 #include "common/time.hpp"
+#include "ndn/name_tree.hpp"
 #include "ndn/packet.hpp"
 #include "sim/scheduler.hpp"
 
 namespace dapes::ndn {
-
-using FaceId = uint32_t;
-using common::TimePoint;
-
-/// Shared, immutable Data handle: the CS, the forwarding pipeline and
-/// application faces pass one decoded packet around by reference count —
-/// its content and cached wire stay views into the original frame buffer.
-using DataPtr = std::shared_ptr<const Data>;
 
 /// In-network cache of Data packets.
 ///
@@ -38,7 +38,10 @@ using DataPtr = std::shared_ptr<const Data>;
 /// never deep-copies content or wire bytes.
 class ContentStore {
  public:
-  explicit ContentStore(size_t capacity = 4096) : capacity_(capacity) {}
+  explicit ContentStore(size_t capacity = 4096,
+                        std::shared_ptr<NameTree> tree = nullptr)
+      : capacity_(capacity),
+        tree_(tree ? std::move(tree) : std::make_shared<NameTree>()) {}
 
   /// Insert (or refresh) a Data packet, stamped with the current time.
   /// A new entry wraps the Data into a shared handle (a cheap,
@@ -55,8 +58,11 @@ class ContentStore {
   DataPtr find(const Name& name, bool can_be_prefix = false,
                TimePoint now = TimePoint::zero());
 
-  bool contains(const Name& name) const { return entries_.contains(name); }
-  size_t size() const { return entries_.size(); }
+  bool contains(const Name& name) const {
+    NameTree::Entry* e = tree_->find_exact(name);
+    return e != nullptr && e->cs != nullptr;
+  }
+  size_t size() const { return size_; }
   size_t capacity() const { return capacity_; }
 
   /// Approximate memory footprint (content bytes), for Table-I style
@@ -66,52 +72,45 @@ class ContentStore {
  private:
   /// Bump an existing entry's expiry + LRU position; false on miss.
   bool refresh(const Name& name, TimePoint expires);
-  void touch(const Name& name);
+  void touch(NameTree::Entry* e);
   void evict_one();
-
-  struct Entry {
-    DataPtr data;
-    TimePoint expires{};
-    std::list<Name>::iterator lru_it;
-  };
+  /// Drop the CS state of @p e (LRU unlink, byte accounting, tree
+  /// cleanup).
+  void erase(NameTree::Entry* e);
+  /// Pre-order descent for CanBePrefix queries: returns the first live
+  /// CS entry under @p e in component order (nullptr if none),
+  /// collecting expired entries seen on the way into @p expired.
+  NameTree::Entry* scan_prefix(NameTree::Entry* e, TimePoint now,
+                               std::vector<NameTree::Entry*>& expired);
+  void lru_unlink(NameTree::Entry* e);
+  void lru_push_back(NameTree::Entry* e);
 
   size_t capacity_;
+  size_t size_ = 0;
   size_t content_bytes_ = 0;
-  std::map<Name, Entry> entries_;
-  std::list<Name> lru_;  // front = least recently used
-};
-
-/// One pending Interest: who asked, which nonces were seen, when it dies.
-struct PitEntry {
-  Name name;
-  bool can_be_prefix = false;
-  TimePoint expiry{};
-  /// Faces the Interest arrived on (data goes back to these).
-  std::vector<FaceId> in_faces;
-  /// Set when this node relayed the Interest onto the broadcast medium.
-  /// On a broadcast face the upstream (data source) and downstream
-  /// (requester) share one face; a relaying node must re-broadcast the
-  /// returning Data exactly when it forwarded the Interest itself.
-  bool relayed_to_network = false;
-  /// Nonces seen for this name — duplicates indicate loops.
-  std::unordered_set<uint32_t> nonces;
-  sim::EventId expiry_event{};
+  std::shared_ptr<NameTree> tree_;
+  NameTree::Entry* lru_head_ = nullptr;  // least recently used
+  NameTree::Entry* lru_tail_ = nullptr;
 };
 
 class Pit {
  public:
+  explicit Pit(std::shared_ptr<NameTree> tree = nullptr)
+      : tree_(tree ? std::move(tree) : std::make_shared<NameTree>()) {}
+
   /// Find the entry with this exact name.
   PitEntry* find(const Name& name);
 
   /// All entries satisfied by data with @p data_name (exact match, plus
-  /// CanBePrefix entries whose name prefixes it).
+  /// CanBePrefix entries whose name prefixes it). O(depth) hash probes on
+  /// the data name's cached prefix hashes.
   std::vector<Name> matches_for_data(const Name& data_name) const;
 
   /// Insert a new entry; returns a stable reference.
   PitEntry& insert(const Name& name);
 
   void erase(const Name& name);
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return size_; }
 
   /// True if @p nonce was already recorded anywhere for @p name
   /// (loop detection across live entries + dead-nonce history).
@@ -121,7 +120,8 @@ class Pit {
   void record_dead_nonce(const Name& name, uint32_t nonce);
 
  private:
-  std::map<Name, PitEntry> entries_;
+  std::shared_ptr<NameTree> tree_;
+  size_t size_ = 0;
   // Bounded FIFO of (name-hash ^ nonce) fingerprints.
   static constexpr size_t kDeadNonceCap = 8192;
   std::list<uint64_t> dead_order_;
@@ -131,6 +131,9 @@ class Pit {
 /// Longest-prefix-match routing table: prefix -> out-faces.
 class Fib {
  public:
+  explicit Fib(std::shared_ptr<NameTree> tree = nullptr)
+      : tree_(tree ? std::move(tree) : std::make_shared<NameTree>()) {}
+
   void add_route(const Name& prefix, FaceId face);
   void remove_route(const Name& prefix, FaceId face);
 
@@ -140,10 +143,11 @@ class Fib {
   /// All registered prefixes pointing at @p face (used by app discovery).
   std::vector<Name> prefixes_for(FaceId face) const;
 
-  size_t size() const { return routes_.size(); }
+  size_t size() const { return size_; }
 
  private:
-  std::map<Name, std::set<FaceId>> routes_;
+  std::shared_ptr<NameTree> tree_;
+  size_t size_ = 0;
 };
 
 }  // namespace dapes::ndn

@@ -1,0 +1,95 @@
+// Reference data plane tables: the original std::map-based Content
+// Store, PIT and FIB, retained verbatim as the behavioral oracle for the
+// hashed NameTree tables (src/ndn/tables.hpp).
+//
+// All three are ordered by Name so prefix queries (CanBePrefix lookups,
+// longest-prefix match) are a lower_bound away. Every observable —
+// find/insert results, LRU eviction victims, freshness expiry, LPM
+// winners, iteration order — must match the NameTree implementation
+// exactly; tests/test_name_tree.cpp drives both with identical randomized
+// workloads, and bench/bench_tables.cpp measures the gap between them.
+// Not used on any forwarding path.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+#include "ndn/name_tree.hpp"
+#include "ndn/packet.hpp"
+
+namespace dapes::ndn::ref {
+
+/// In-network cache of Data packets (std::map reference).
+class ContentStore {
+ public:
+  explicit ContentStore(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void insert(const Data& data, TimePoint now = TimePoint::zero()) {
+    if (refresh(data.name(), now + data.freshness())) return;
+    insert(std::make_shared<const Data>(data), now);
+  }
+  void insert(DataPtr data, TimePoint now = TimePoint::zero());
+
+  DataPtr find(const Name& name, bool can_be_prefix = false,
+               TimePoint now = TimePoint::zero());
+
+  bool contains(const Name& name) const { return entries_.contains(name); }
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  size_t content_bytes() const { return content_bytes_; }
+
+ private:
+  bool refresh(const Name& name, TimePoint expires);
+  void touch(const Name& name);
+  void evict_one();
+
+  struct Entry {
+    DataPtr data;
+    TimePoint expires{};
+    std::list<Name>::iterator lru_it;
+  };
+
+  size_t capacity_;
+  size_t content_bytes_ = 0;
+  std::map<Name, Entry> entries_;
+  std::list<Name> lru_;  // front = least recently used
+};
+
+/// Pending Interest Table (std::map reference).
+class Pit {
+ public:
+  PitEntry* find(const Name& name);
+  std::vector<Name> matches_for_data(const Name& data_name) const;
+  PitEntry& insert(const Name& name);
+  void erase(const Name& name);
+  size_t size() const { return entries_.size(); }
+  bool has_nonce(const Name& name, uint32_t nonce) const;
+  void record_dead_nonce(const Name& name, uint32_t nonce);
+
+ private:
+  std::map<Name, PitEntry> entries_;
+  static constexpr size_t kDeadNonceCap = 8192;
+  std::list<uint64_t> dead_order_;
+  std::unordered_set<uint64_t> dead_set_;
+};
+
+/// Longest-prefix-match routing table (std::map reference).
+class Fib {
+ public:
+  void add_route(const Name& prefix, FaceId face);
+  void remove_route(const Name& prefix, FaceId face);
+  std::vector<FaceId> lookup(const Name& name) const;
+  std::vector<Name> prefixes_for(FaceId face) const;
+  size_t size() const { return routes_.size(); }
+
+ private:
+  std::map<Name, std::set<FaceId>> routes_;
+};
+
+}  // namespace dapes::ndn::ref

@@ -108,5 +108,87 @@ TEST(Name, ComponentComparison) {
   EXPECT_LT(Component("abc"), Component("abd"));
 }
 
+// ------------------------------------------------------ hash cache
+
+// Reference FNV-1a matching the documented scheme, computed from scratch.
+size_t reference_hash(const Name& name) {
+  size_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& c : name.components()) {
+    mix(0xff);
+    for (uint8_t b : c.value()) mix(b);
+  }
+  return h;
+}
+
+TEST(NameHash, MatchesReferenceScheme) {
+  for (const char* uri : {"/", "/a", "/a/b/c", "/coll/file/123"}) {
+    Name n = Name(uri);
+    EXPECT_EQ(n.hash(), reference_hash(n)) << uri;
+    EXPECT_EQ(std::hash<Name>{}(n), n.hash());
+  }
+}
+
+TEST(NameHash, PrefixHashesMatchPrefixNames) {
+  Name n("/damaged-bridge/bridge-picture/0/extra");
+  for (size_t d = 0; d <= n.size(); ++d) {
+    EXPECT_EQ(n.prefix_hash(d), n.prefix(d).hash()) << d;
+  }
+  // Clamped like prefix().
+  EXPECT_EQ(n.prefix_hash(99), n.hash());
+}
+
+TEST(NameHash, AppendExtendsWarmCacheCorrectly) {
+  Name n("/a/b");
+  EXPECT_FALSE(n.has_hash_cache());
+  (void)n.hash();  // warm
+  ASSERT_TRUE(n.has_hash_cache());
+  n.append("c");
+  ASSERT_TRUE(n.has_hash_cache());  // extended in place, not dropped
+  EXPECT_EQ(n.hash(), Name("/a/b/c").hash());
+  n.append_number(7);
+  EXPECT_EQ(n.hash(), Name("/a/b/c/7").hash());
+  EXPECT_EQ(n.hash(), reference_hash(n));
+}
+
+TEST(NameHash, MutationOfColdNameStaysCorrect) {
+  // Appending without a warm cache: first hash() after the mutation must
+  // see the final components.
+  Name n("/a");
+  n.append("b");
+  EXPECT_EQ(n.hash(), Name("/a/b").hash());
+  EXPECT_EQ(n.hash(), reference_hash(n));
+}
+
+TEST(NameHash, PrefixInheritsCache) {
+  Name n("/x/y/z");
+  (void)n.hash();
+  Name p = n.prefix(2);
+  EXPECT_TRUE(p.has_hash_cache());
+  EXPECT_EQ(p.hash(), Name("/x/y").hash());
+  // A cold name's prefix is cold but still hashes correctly.
+  Name cold("/x/y/z");
+  EXPECT_FALSE(cold.prefix(2).has_hash_cache());
+  EXPECT_EQ(cold.prefix(2).hash(), p.hash());
+}
+
+TEST(NameHash, CacheStateInvisibleToComparison) {
+  Name warm("/k/l");
+  (void)warm.hash();
+  Name cold("/k/l");
+  EXPECT_EQ(warm, cold);
+  EXPECT_FALSE(warm < cold);
+  EXPECT_FALSE(cold < warm);
+  EXPECT_EQ(std::hash<Name>{}(warm), std::hash<Name>{}(cold));
+}
+
+TEST(NameHash, ComponentBoundariesStillDistinct) {
+  EXPECT_NE(Name("/ab/c").hash(), Name("/a/bc").hash());
+  EXPECT_NE(Name("/a/b/c").hash(), Name("/a/b/d").hash());
+}
+
 }  // namespace
 }  // namespace dapes::ndn

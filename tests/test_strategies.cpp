@@ -230,5 +230,88 @@ TEST_F(StrategyTest, IntermediateFallsBackToProbabilisticWhenUnknown) {
   EXPECT_TRUE(relayed);
 }
 
+// --------------------------------------------- soft-state expiry sweeps
+
+TEST_F(StrategyTest, RelayBookkeepingSweptAfterHorizon) {
+  PureForwarderStrategy::Params p;
+  p.forward_probability = 1.0;
+  p.forward_delay_window = common::Duration::milliseconds(1);
+  p.name_state_cap = 8;
+  p.relay_horizon = common::Duration::seconds(1.0);
+  fw.set_strategy(
+      std::make_unique<PureForwarderStrategy>(sched, common::Rng(1), p));
+  auto* strategy = static_cast<PureForwarderStrategy*>(&fw.strategy());
+
+  // Every relay is satisfied by returning data, so on_interest_timeout
+  // never fires and nothing would ever shrink the table without the
+  // horizon sweep.
+  for (uint32_t i = 0; i < 40; ++i) {
+    common::TimePoint at{static_cast<int64_t>(i) * 2'000'000};  // 2 s apart
+    sched.schedule_at(at, [this, i] {
+      std::string uri = "/swarm/file/" + std::to_string(i);
+      wifi->inject(make_interest(uri, i + 1));
+    });
+    sched.schedule_at(at + common::Duration::milliseconds(100), [this, i] {
+      Data d{ndn::Name("/swarm/file/" + std::to_string(i))};
+      d.set_content(bytes_of("x"));
+      wifi->inject(d);
+    });
+  }
+  sched.run();
+  EXPECT_EQ(strategy->relay_timeouts(), 0u);
+  // 40 relays happened, but entries older than the 1 s horizon are swept
+  // whenever the table exceeds the cap.
+  EXPECT_LE(strategy->relayed_names(), p.name_state_cap + 1);
+}
+
+TEST_F(StrategyTest, SuppressionTableSweptAfterExpiry) {
+  PureForwarderStrategy::Params p;
+  p.forward_probability = 1.0;
+  p.forward_delay_window = common::Duration::milliseconds(1);
+  p.suppression = common::Duration::milliseconds(100);
+  p.name_state_cap = 8;
+  fw.set_strategy(
+      std::make_unique<PureForwarderStrategy>(sched, common::Rng(1), p));
+  auto* strategy = static_cast<PureForwarderStrategy*>(&fw.strategy());
+
+  // 40 fruitless forwards, 500 ms apart: each PIT timeout (300 ms
+  // lifetime) adds a suppression entry that expires 100 ms later, long
+  // before the next insert — the sweep keeps the table at the cap.
+  for (uint32_t i = 0; i < 40; ++i) {
+    sched.schedule_at(common::TimePoint{static_cast<int64_t>(i) * 500'000},
+                      [this, i] {
+                        std::string uri = "/dead/" + std::to_string(i);
+                        wifi->inject(make_interest(uri, i + 1));
+                      });
+  }
+  sched.run();
+  EXPECT_EQ(strategy->relay_timeouts(), 40u);
+  EXPECT_LE(strategy->suppressed_names(), p.name_state_cap + 1);
+}
+
+TEST_F(StrategyTest, RecentDataSweptAfterKnowledgeTtl) {
+  DapesIntermediateStrategy::IntermediateParams p;
+  p.base.forward_probability = 0.0;
+  p.knowledge_ttl = common::Duration::milliseconds(200);
+  p.recent_data_cap = 8;
+  fw.set_strategy(
+      std::make_unique<DapesIntermediateStrategy>(sched, common::Rng(1), p));
+  auto* strategy = static_cast<DapesIntermediateStrategy*>(&fw.strategy());
+
+  // Distinct overheard data names 500 ms apart: each is stale (past the
+  // 200 ms TTL) by the time the next arrives, so once the cap trips the
+  // sweep holds the table at cap size.
+  for (uint32_t i = 0; i < 40; ++i) {
+    sched.schedule_at(common::TimePoint{static_cast<int64_t>(i) * 500'000},
+                      [this, i] {
+                        Data d{ndn::Name("/heard/" + std::to_string(i))};
+                        d.set_content(bytes_of("x"));
+                        wifi->inject(d);
+                      });
+  }
+  sched.run();
+  EXPECT_LE(strategy->recent_data_names(), p.recent_data_cap + 1);
+}
+
 }  // namespace
 }  // namespace dapes::core
