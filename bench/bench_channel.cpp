@@ -1,0 +1,77 @@
+// Channel bench: the Fig. 7 DAPES world swept along the path-loss
+// exponent axis under the pluggable channel/PHY layer (see DESIGN.md
+// "Channel & PHY models").
+//
+// Series:
+//   logdist(s=0)   — loss.sweep family, log-distance path loss, no
+//                    shadowing: the reception curve alone (50 % at the
+//                    nominal range, logistic rolloff).
+//   logdist(s=6)   — 6 dB log-normal shadowing on top: links well inside
+//                    the nominal range fade out, links beyond it open up.
+//   hetero+logdist — hetero.radio family on the same channel: half the
+//                    nodes on half-range radios (which under log-distance
+//                    also transmit proportionally less power).
+//   unit-disk      — the paper's reference channel as a flat baseline
+//                    (it ignores the exponent axis by construction).
+//
+// Expected shape: the log-distance channel is *better* connected than
+// the unit-disk reference at the same nominal range — links inside the
+// range approach certainty and the probabilistic fringe beyond it keeps
+// working — so its download times sit below the unit-disk line, with
+// steeper exponents shrinking that fringe advantage. The mixed-radio
+// series is the slow one: half-range radios fragment the swarm.
+//
+// BENCH_channel.json is the committed baseline (`--trials 1 --jobs 1
+// --format json`). Everything reported is deterministic per seed, so the
+// baseline is byte-reproducible on any machine; CI smokes the bench and
+// diffs --jobs 1 vs --jobs 8 output for the engine's determinism
+// contract.
+#include "bench_common.hpp"
+
+using namespace dapes;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::parse(argc, argv);
+
+  harness::SweepSpec spec;
+  spec.title = "channel: DAPES under log-distance/shadowing/hetero radios";
+  spec.y_unit = "seconds (p90 over trials)";
+  spec.base = args.scenario();
+  spec.base.files = 1;
+  if (!args.paper_scale && !args.quick) {
+    spec.base.file_size_bytes = 16 * 1024;
+  }
+  spec.base.sim_limit_s = args.quick ? 300.0 : 900.0;
+
+  spec.axis.label = "alpha";
+  spec.axis.values =
+      args.quick ? std::vector<double>{2.0, 4.0}
+                 : std::vector<double>{2.0, 2.7, 3.5, 4.5};
+  spec.axis.apply = [](harness::ScenarioParams& p, double x) {
+    p.channel.path_loss_exponent = x;
+  };
+
+  spec.series.push_back({"logdist(s=0)", harness::ProtocolNames::kLossSweep,
+                         [](harness::ScenarioParams& p) {
+                           p.channel.shadowing_sigma_db = 0.0;
+                         }});
+  spec.series.push_back({"logdist(s=6)", harness::ProtocolNames::kLossSweep,
+                         [](harness::ScenarioParams& p) {
+                           p.channel.shadowing_sigma_db = 6.0;
+                         }});
+  spec.series.push_back(
+      {"hetero+logdist", harness::ProtocolNames::kHeteroRadio,
+       [](harness::ScenarioParams& p) {
+         p.channel.model = "log-distance";
+         p.hetero_range_fraction = 0.5;
+         p.hetero_range_factor = 0.5;
+       }});
+  spec.series.push_back(
+      {"unit-disk", harness::ProtocolNames::kDapes,
+       [](harness::ScenarioParams&) {}});
+
+  spec.metrics = {harness::download_time_metric(),
+                  harness::completion_metric(),
+                  harness::transmissions_k_metric()};
+  return args.run(std::move(spec));
+}

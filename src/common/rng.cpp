@@ -81,6 +81,15 @@ double Rng::exponential(double mean) {
   return -mean * std::log(u);
 }
 
+double Rng::gaussian() {
+  double u1 = uniform01();
+  // Guard the log against u1 == 0.
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  double u2 = uniform01();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
 Rng Rng::fork() { return Rng(next()); }
 
 }  // namespace dapes::common

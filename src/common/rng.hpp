@@ -48,6 +48,11 @@ class Rng {
   /// Exponentially distributed value with the given mean (> 0).
   double exponential(double mean);
 
+  /// Standard normal (mean 0, stddev 1) via Box-Muller. Always consumes
+  /// exactly two uniform draws — no cached spare — so the stream position
+  /// after a call is deterministic.
+  double gaussian();
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {

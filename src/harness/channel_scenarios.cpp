@@ -1,0 +1,19 @@
+#include "harness/channel_scenarios.hpp"
+
+namespace dapes::harness {
+
+TrialResult run_loss_sweep_trial(const ScenarioParams& params) {
+  ScenarioParams p = params;
+  if (p.channel.model == "unit-disk") p.channel.model = "log-distance";
+  return run_dapes_trial(p);
+}
+
+TrialResult run_hetero_radio_trial(const ScenarioParams& params) {
+  ScenarioParams p = params;
+  // Negative = unset; an explicit 0 is a legitimate all-full-range
+  // baseline and is left alone.
+  if (p.hetero_range_fraction < 0.0) p.hetero_range_fraction = 0.5;
+  return run_dapes_trial(p);
+}
+
+}  // namespace dapes::harness

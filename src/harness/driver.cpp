@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "harness/channel_scenarios.hpp"
 #include "harness/realworld.hpp"
 #include "harness/scale.hpp"
 
@@ -47,6 +48,8 @@ ProtocolDriverRegistry::ProtocolDriverRegistry() {
   }
   add(ProtocolNames::kScaleField, run_scale_trial);
   add(ProtocolNames::kScaleMedium, run_medium_stress_trial);
+  add(ProtocolNames::kLossSweep, run_loss_sweep_trial);
+  add(ProtocolNames::kHeteroRadio, run_hetero_radio_trial);
 }
 
 ProtocolDriverRegistry& ProtocolDriverRegistry::instance() {

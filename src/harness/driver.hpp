@@ -45,6 +45,8 @@ struct ProtocolNames {
   static constexpr const char* kRealWorldMoving = "realworld.moving";
   static constexpr const char* kScaleField = "scale.field";
   static constexpr const char* kScaleMedium = "scale.medium";
+  static constexpr const char* kLossSweep = "loss.sweep";
+  static constexpr const char* kHeteroRadio = "hetero.radio";
 };
 
 /// String-keyed driver registry. The built-in drivers above are registered

@@ -70,6 +70,8 @@ TrialResult run_medium_stress_trial(const ScenarioParams& params) {
     topo.medium->add_node(topo.mobile(params), on_receive);
   }
 
+  apply_hetero_radios(params, *topo.medium);
+
   std::vector<std::unique_ptr<sim::Radio>> radios;
   radios.reserve(n);
   for (int i = 0; i < n; ++i) {

@@ -75,6 +75,10 @@ TrialResult run_dapes_trial(const ScenarioParams& params) {
     add_forwarder(core::ForwarderKind::kDapesIntermediate);
   }
 
+  // Mixed-range radios (hetero.radio); an exact no-op when the fraction
+  // is 0, so paper-scale trials are untouched.
+  apply_hetero_radios(params, *topo.medium);
+
   TrialResult result = run_to_completion(params, topo, tracker, [&] {
     StateSample s;
     for (const auto& p : downloaders) {

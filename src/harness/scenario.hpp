@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dapes/peer.hpp"
+#include "sim/channel.hpp"
 
 namespace dapes::harness {
 
@@ -54,6 +55,22 @@ struct ScenarioParams {
   double wifi_range_m = 60.0;
   double data_rate_bps = 11e6 / kDefaultScale;
   double loss_rate = 0.10;
+
+  // --- channel / PHY model (see DESIGN.md "Channel & PHY models") ---
+  /// Channel model + parameters; defaults to the paper's unit-disk
+  /// reference, under which every sweep is bit-identical to the
+  /// pre-channel-layer tree. `link_seed` is derived per trial by the
+  /// Topology when left at 0.
+  sim::ChannelParams channel;
+  /// hetero.radio: fraction of nodes (evenly spread across the
+  /// population classes, deterministically — no RNG draws) whose radio
+  /// range is scaled by `hetero_range_factor`. 0 disables; negative
+  /// means "unset" (the hetero.radio driver then defaults to 0.5, so an
+  /// explicit 0 remains a usable baseline on a fraction axis).
+  double hetero_range_fraction = -1.0;
+  /// Range multiplier applied to the selected nodes (e.g. 0.5 models
+  /// half-range IoT-class radios next to full WiFi).
+  double hetero_range_factor = 0.5;
 
   // --- workload (paper default: 10 files x 1 MB, 1 KB packets) ---
   size_t files = 10;

@@ -22,6 +22,14 @@ Topology::Topology(const ScenarioParams& params, uint64_t seed,
   mp.data_rate_bps = params.data_rate_bps;
   mp.loss_rate = params.loss_rate;
   mp.brute_force = params.brute_force_medium;
+  mp.channel = params.channel;
+  if (mp.channel.link_seed == 0) {
+    // Per-trial stream base for the keyed per-link reception draws of the
+    // non-reference channel models (the unit-disk default never draws
+    // from it). Derived from the trial seed with a fixed tag so it is
+    // independent of execution order, like every other stream.
+    mp.channel.link_seed = common::derive_seed(seed, 0x6368616eULL);
+  }
   medium = std::make_unique<sim::Medium>(sched, mp, rng.fork());
 
   producer_key = keys.generate_key(key_name, params.seed);
@@ -101,6 +109,25 @@ sim::MobilityModel* Topology::waypoints(
     std::vector<sim::WaypointMobility::Waypoint> pts) {
   mobility.push_back(std::make_unique<sim::WaypointMobility>(std::move(pts)));
   return mobility.back().get();
+}
+
+void apply_hetero_radios(const ScenarioParams& params, sim::Medium& medium) {
+  const double fraction =
+      std::min(1.0, std::max(0.0, params.hetero_range_fraction));
+  if (fraction <= 0.0) return;
+  const size_t n = medium.node_count();
+  const auto scaled = static_cast<size_t>(std::llround(fraction * n));
+  if (scaled == 0) return;
+  // Even deterministic spread: node i is selected when the rounded
+  // cumulative quota increments at i, which picks exactly `scaled` nodes
+  // across the whole id range (and therefore across the population
+  // classes, which are registered in contiguous id blocks).
+  for (size_t i = 0; i < n; ++i) {
+    if ((i + 1) * scaled / n != i * scaled / n) {
+      medium.set_node_range_factor(static_cast<sim::NodeId>(i),
+                                   params.hetero_range_factor);
+    }
+  }
 }
 
 double CompletionTracker::mean_time(double limit_s) const {

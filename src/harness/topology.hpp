@@ -87,6 +87,15 @@ struct CompletionTracker {
   bool done() const { return completed >= expected; }
 };
 
+/// Apply the hetero.radio mixed-range radios to an already-populated
+/// medium: an evenly spread `params.hetero_range_fraction` of the
+/// registered nodes get their radio range scaled by
+/// `params.hetero_range_factor`. Deterministic — selection is by node
+/// index arithmetic, no RNG draws — so enabling it cannot perturb any
+/// other stream, and a fraction of 0 is an exact no-op. Call after every
+/// node is registered and before traffic starts.
+void apply_hetero_radios(const ScenarioParams& params, sim::Medium& medium);
+
 /// Per-sample state snapshot a driver reports back to the run loop.
 struct StateSample {
   size_t state_bytes = 0;

@@ -1,10 +1,11 @@
-// Faces: the forwarder's attachment points.
-//
-// Each simulated node runs one Forwarder with (at least) two faces: an
-// AppFace for the local application (DAPES peer, or nothing on a pure
-// forwarder) and a WifiFace bridging to the node's broadcast radio. The
-// Forwarder pushes outgoing packets into Face::send_*; incoming packets
-// are injected by the face owner via the handlers the Forwarder installs.
+/// @file
+/// Faces: the forwarder's attachment points.
+///
+/// Each simulated node runs one Forwarder with (at least) two faces: an
+/// AppFace for the local application (DAPES peer, or nothing on a pure
+/// forwarder) and a WifiFace bridging to the node's broadcast radio. The
+/// Forwarder pushes outgoing packets into Face::send_*; incoming packets
+/// are injected by the face owner via the handlers the Forwarder installs.
 #pragma once
 
 #include <cstdint>
@@ -21,35 +22,46 @@
 
 namespace dapes::ndn {
 
+/// Identifier the Forwarder assigns when a face is added.
 using FaceId = uint32_t;
 
+/// Abstract attachment point between a Forwarder and an application or
+/// network adapter (see file comment).
 class Face {
  public:
   virtual ~Face() = default;
 
+  /// Forwarder-assigned face id (0 until added).
   FaceId id() const { return id_; }
+  /// Assign the face id (called by the Forwarder).
   void set_id(FaceId id) { id_ = id; }
 
   /// Local faces connect applications; non-local faces reach the network
   /// (hop limits only apply to non-local hops).
   virtual bool is_local() const = 0;
 
+  /// Forwarder -> face: emit an Interest.
   virtual void send_interest(const Interest& interest) = 0;
+  /// Forwarder -> face: emit a Data.
   virtual void send_data(const Data& data) = 0;
 
-  /// Handlers the Forwarder installs to receive packets from this face.
+  /// Handler type for Interests arriving from this face.
   using InterestHandler = std::function<void(const Interest&)>;
+  /// Handler type for Data arriving from this face.
   using DataHandler = std::function<void(const Data&)>;
 
+  /// Install the Forwarder's receive handlers for this face.
   void set_receive_handlers(InterestHandler on_interest, DataHandler on_data) {
     on_interest_ = std::move(on_interest);
     on_data_ = std::move(on_data);
   }
 
  protected:
+  /// Hand an incoming Interest to the installed Forwarder handler.
   void deliver_interest(const Interest& interest) {
     if (on_interest_) on_interest_(interest);
   }
+  /// Hand an incoming Data to the installed Forwarder handler.
   void deliver_data(const Data& data) {
     if (on_data_) on_data_(data);
   }
@@ -64,7 +76,9 @@ class Face {
 /// callbacks and writes with express()/put().
 class AppFace final : public Face {
  public:
+  /// Application callback for Interests delivered to the app.
   using AppInterestHandler = std::function<void(const Interest&)>;
+  /// Application callback for Data delivered to the app.
   using AppDataHandler = std::function<void(const Data&)>;
 
   /// Application-side callbacks (what the app receives from the network).
@@ -73,19 +87,21 @@ class AppFace final : public Face {
     app_on_data_ = std::move(on_data);
   }
 
-  /// Forwarder -> application.
+  /// Forwarder -> application (Interest).
   void send_interest(const Interest& interest) override {
     if (app_on_interest_) app_on_interest_(interest);
   }
+  /// Forwarder -> application (Data).
   void send_data(const Data& data) override {
     if (app_on_data_) app_on_data_(data);
   }
 
-  /// Application -> forwarder.
+  /// Application -> forwarder: express an Interest.
   void express(const Interest& interest) { deliver_interest(interest); }
+  /// Application -> forwarder: publish a Data.
   void put(const Data& data) { deliver_data(data); }
 
-  bool is_local() const override { return true; }
+  bool is_local() const override { return true; }  ///< always local
 
  private:
   AppInterestHandler app_on_interest_;
@@ -101,6 +117,8 @@ class AppFace final : public Face {
 /// zero to send immediately.
 class WifiFace final : public Face {
  public:
+  /// Bridge @p radio to the forwarder; Data sends are delayed uniformly
+  /// within @p data_window (0 = immediate) for suppression.
   WifiFace(sim::Scheduler& sched, sim::Radio& radio, sim::NodeId node,
            common::Rng rng,
            Duration data_window = Duration::milliseconds(20))
@@ -110,7 +128,9 @@ class WifiFace final : public Face {
         rng_(rng),
         data_window_(data_window) {}
 
+  /// Encode and broadcast an Interest immediately.
   void send_interest(const Interest& interest) override;
+  /// Schedule a Data broadcast within the suppression window.
   void send_data(const Data& data) override;
 
   /// Called by the node's medium receive callback for every frame heard.
@@ -124,11 +144,14 @@ class WifiFace final : public Face {
     next_interest_cb_ = std::move(cb);
   }
 
+  /// Interests actually put on the air.
   uint64_t interests_sent() const { return interests_sent_; }
+  /// Data packets actually put on the air.
   uint64_t data_sent() const { return data_sent_; }
+  /// Data sends cancelled by an overheard identical-name Data.
   uint64_t data_suppressed() const { return data_suppressed_; }
 
-  bool is_local() const override { return false; }
+  bool is_local() const override { return false; }  ///< never local
 
  private:
   void transmit_data(const Name& name);

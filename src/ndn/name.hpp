@@ -1,24 +1,25 @@
-// NDN names.
-//
-// A Name is an ordered list of byte-string components, printed as a URI
-// ("/damaged-bridge-1533783192/bridge-picture/0"). DAPES relies on the
-// hierarchy: collection prefix -> file name -> packet sequence number, so
-// prefix tests and numeric final components get first-class helpers.
-//
-// Names carry a lazily computed *incremental* hash cache: one FNV-1a pass
-// over the component bytes yields the hash of every prefix depth
-// (`prefix_hash(n)`), with the full-name hash as the last step. The data
-// plane (src/ndn/name_tree.hpp) is keyed on these hashes, so a forwarder
-// hop probes its tables without re-reading name bytes, and longest-prefix
-// match never materializes prefix Names. The cache is extended in place by
-// append (the next prefix hash derives from the previous one), inherited
-// by prefix(), seeded by the wire decoder, and recomputed on demand
-// otherwise. Hash values are identical to the historic std::hash<Name>
-// FNV-1a scheme, so fingerprints derived from them are stable.
-//
-// The cache is `mutable` and filled on first use: a const Name is safe to
-// share within one simulation trial (single-threaded), not across trial
-// threads.
+/// @file
+/// NDN names.
+///
+/// A Name is an ordered list of byte-string components, printed as a URI
+/// ("/damaged-bridge-1533783192/bridge-picture/0"). DAPES relies on the
+/// hierarchy: collection prefix -> file name -> packet sequence number, so
+/// prefix tests and numeric final components get first-class helpers.
+///
+/// Names carry a lazily computed *incremental* hash cache: one FNV-1a pass
+/// over the component bytes yields the hash of every prefix depth
+/// (`prefix_hash(n)`), with the full-name hash as the last step. The data
+/// plane (src/ndn/name_tree.hpp) is keyed on these hashes, so a forwarder
+/// hop probes its tables without re-reading name bytes, and longest-prefix
+/// match never materializes prefix Names. The cache is extended in place by
+/// append (the next prefix hash derives from the previous one), inherited
+/// by prefix(), seeded by the wire decoder, and recomputed on demand
+/// otherwise. Hash values are identical to the historic std::hash<Name>
+/// FNV-1a scheme, so fingerprints derived from them are stable.
+///
+/// The cache is `mutable` and filled on first use: a const Name is safe to
+/// share within one simulation trial (single-threaded), not across trial
+/// threads.
 #pragma once
 
 #include <cstdint>
@@ -35,8 +36,11 @@ namespace dapes::ndn {
 /// One name component (opaque bytes; printable ASCII in practice).
 class Component {
  public:
+  /// Empty component.
   Component() = default;
+  /// Component from owned bytes.
   explicit Component(common::Bytes value) : value_(std::move(value)) {}
+  /// Component from a string (bytes copied).
   explicit Component(std::string_view str)
       : value_(str.begin(), str.end()) {}
 
@@ -46,20 +50,27 @@ class Component {
   /// Parse as a decimal number if the component is all digits.
   std::optional<uint64_t> to_number() const;
 
+  /// The raw component bytes.
   const common::Bytes& value() const { return value_; }
+  /// The bytes as a std::string (components are ASCII in practice).
   std::string to_string() const {
     return std::string(value_.begin(), value_.end());
   }
 
+  /// Byte-wise equality.
   bool operator==(const Component&) const = default;
+  /// Byte-wise lexicographic order.
   auto operator<=>(const Component&) const = default;
 
  private:
   common::Bytes value_;
 };
 
+/// Hierarchical NDN name with the cached incremental prefix hashes the
+/// data plane is keyed on (see file comment).
 class Name {
  public:
+  /// The empty name "/".
   Name() = default;
 
   /// Parse a URI like "/a/b/c". Empty string or "/" yields the empty name.
@@ -67,21 +78,29 @@ class Name {
   /// namespace is plain ASCII).
   explicit Name(std::string_view uri);
 
+  /// Name from a component list: Name{"a", "b", "c"} == "/a/b/c".
   Name(std::initializer_list<std::string_view> components);
 
   /// Builder-style append; returns *this for chaining. A warm hash cache
   /// is extended incrementally (one component's bytes), never recomputed.
   Name& append(Component c);
+  /// Append a string component; same cache-extension contract.
   Name& append(std::string_view str);
+  /// Append a decimal sequence-number component.
   Name& append_number(uint64_t number);
 
   /// A copy of this name with one more component.
   Name appended(std::string_view str) const;
+  /// A copy of this name with a sequence-number component appended.
   Name appended_number(uint64_t number) const;
 
+  /// Number of components.
   size_t size() const { return components_.size(); }
+  /// True for the empty name.
   bool empty() const { return components_.empty(); }
+  /// Bounds-checked component access.
   const Component& at(size_t i) const { return components_.at(i); }
+  /// Unchecked component access.
   const Component& operator[](size_t i) const { return components_[i]; }
 
   /// First @p n components. Inherits the matching slice of a warm hash
@@ -94,6 +113,7 @@ class Name {
   /// True if *this is a (non-strict) prefix of @p other.
   bool is_prefix_of(const Name& other) const;
 
+  /// The "/a/b/c" URI form.
   std::string to_uri() const;
 
   /// FNV-1a hash of the whole name (cached; one pass on first use).
@@ -122,6 +142,7 @@ class Name {
     return components_ <=> other.components_;
   }
 
+  /// All components in order.
   const std::vector<Component>& components() const { return components_; }
 
  private:
@@ -135,9 +156,10 @@ class Name {
 
 }  // namespace dapes::ndn
 
+/// std::hash support: delegates to the Name's cached FNV-1a hash.
 template <>
 struct std::hash<dapes::ndn::Name> {
-  // Not noexcept: filling a cold hash cache allocates.
+  /// Not noexcept: filling a cold hash cache allocates.
   size_t operator()(const dapes::ndn::Name& name) const {
     return name.hash();
   }

@@ -1,31 +1,32 @@
-// Shared name-tree data plane (NFD's NameTree, sized for DAPES).
-//
-// One hash table holds every name the forwarder's tables care about. Each
-// entry is keyed by the Name's cached FNV-1a hash (which encodes the
-// component count via separators, so (depth, hash) collisions across
-// depths are already rare; candidates are verified component-wise). The
-// entries double as a component trie: every entry points at its parent
-// (the one-component-shorter prefix) and keeps its children sorted by
-// last component, so the trie enumerates names in exactly the order a
-// std::map<Name, ...> would.
-//
-// CS, PIT and FIB state hang off the *same* entry (pointer-sized slots,
-// allocated on demand), which is what makes the data plane cheap:
-//
-//   * exact match            — one hash probe (Name::hash is cached);
-//   * prefix probe at depth d — one probe with Name::prefix_hash(d),
-//     no prefix Name is ever materialized;
-//   * all-prefixes walks (PIT matches_for_data, FIB longest-prefix
-//     match) — O(depth) probes off one cached hash pass;
-//   * CS LRU — an intrusive entry-pointer list, no Name copies;
-//   * ordered prefix scans (CanBePrefix lookups) — pre-order trie
-//     descent, identical visit order to the std::map reference.
-//
-// Entries with no payloads and no children are removed eagerly
-// (cleanup()), so the table never outgrows the live table state.
-// src/ndn/tables.hpp builds the public ContentStore/Pit/Fib on top;
-// src/ndn/tables_ref.hpp retains the std::map reference implementation
-// the equivalence suite (tests/test_name_tree.cpp) compares against.
+/// @file
+/// Shared name-tree data plane (NFD's NameTree, sized for DAPES).
+///
+/// One hash table holds every name the forwarder's tables care about. Each
+/// entry is keyed by the Name's cached FNV-1a hash (which encodes the
+/// component count via separators, so (depth, hash) collisions across
+/// depths are already rare; candidates are verified component-wise). The
+/// entries double as a component trie: every entry points at its parent
+/// (the one-component-shorter prefix) and keeps its children sorted by
+/// last component, so the trie enumerates names in exactly the order a
+/// std::map<Name, ...> would.
+///
+/// CS, PIT and FIB state hang off the *same* entry (pointer-sized slots,
+/// allocated on demand), which is what makes the data plane cheap:
+///
+///   * exact match            — one hash probe (Name::hash is cached);
+///   * prefix probe at depth d — one probe with Name::prefix_hash(d),
+///     no prefix Name is ever materialized;
+///   * all-prefixes walks (PIT matches_for_data, FIB longest-prefix
+///     match) — O(depth) probes off one cached hash pass;
+///   * CS LRU — an intrusive entry-pointer list, no Name copies;
+///   * ordered prefix scans (CanBePrefix lookups) — pre-order trie
+///     descent, identical visit order to the std::map reference.
+///
+/// Entries with no payloads and no children are removed eagerly
+/// (cleanup()), so the table never outgrows the live table state.
+/// src/ndn/tables.hpp builds the public ContentStore/Pit/Fib on top;
+/// src/ndn/tables_ref.hpp retains the std::map reference implementation
+/// the equivalence suite (tests/test_name_tree.cpp) compares against.
 #pragma once
 
 #include <cstdint>
@@ -41,14 +42,16 @@
 
 namespace dapes::ndn {
 
+/// Identifier the Forwarder assigns when a face is added (mirrored from
+/// face.hpp so the tables stay header-independent of faces).
 using FaceId = uint32_t;
 using common::TimePoint;
 
 /// One pending Interest: who asked, which nonces were seen, when it dies.
 struct PitEntry {
-  Name name;
-  bool can_be_prefix = false;
-  TimePoint expiry{};
+  Name name;                  ///< the pending Interest's name
+  bool can_be_prefix = false; ///< Interest's CanBePrefix selector
+  TimePoint expiry{};         ///< when the entry times out
   /// Faces the Interest arrived on (data goes back to these).
   std::vector<FaceId> in_faces;
   /// Set when this node relayed the Interest onto the broadcast medium.
@@ -58,37 +61,40 @@ struct PitEntry {
   bool relayed_to_network = false;
   /// Nonces seen for this name — duplicates indicate loops.
   std::unordered_set<uint32_t> nonces;
-  sim::EventId expiry_event{};
+  sim::EventId expiry_event{};  ///< scheduled timeout event
 };
 
+/// The shared hashed name trie all three tables hang their state off
+/// (see file comment).
 class NameTree {
  public:
   struct Entry;
 
   /// CS state: shared Data handle, expiry, intrusive LRU links.
   struct CsState {
-    DataPtr data;
-    TimePoint expires{};
-    Entry* lru_prev = nullptr;
-    Entry* lru_next = nullptr;
+    DataPtr data;              ///< the cached packet (shared, immutable)
+    TimePoint expires{};       ///< freshness deadline
+    Entry* lru_prev = nullptr; ///< intrusive LRU list link
+    Entry* lru_next = nullptr; ///< intrusive LRU list link
   };
 
   /// FIB state: the next-hop set for this exact prefix.
   struct FibState {
-    std::set<FaceId> faces;
+    std::set<FaceId> faces;  ///< next-hop faces, ordered
   };
 
+  /// One name's node in the shared trie/hash table.
   struct Entry {
-    Name name;    // full name of this node; hash cache warm
-    size_t hash;  // == name.hash(), stored for cheap rehash/probe
-    Entry* parent = nullptr;         // one-component-shorter prefix
-    std::vector<Entry*> children;    // sorted by last component
-    Entry* hash_next = nullptr;      // bucket chain
+    Name name;    ///< full name of this node; hash cache warm
+    size_t hash;  ///< == name.hash(), stored for cheap rehash/probe
+    Entry* parent = nullptr;       ///< one-component-shorter prefix
+    std::vector<Entry*> children;  ///< sorted by last component
+    Entry* hash_next = nullptr;    ///< bucket chain
 
     // Table payloads; an entry lives while any slot (or a child) does.
-    std::unique_ptr<CsState> cs;
-    std::unique_ptr<PitEntry> pit;
-    std::unique_ptr<FibState> fib;
+    std::unique_ptr<CsState> cs;    ///< Content Store slot
+    std::unique_ptr<PitEntry> pit;  ///< PIT slot
+    std::unique_ptr<FibState> fib;  ///< FIB slot
     /// CS entries at-or-below this entry (maintained by the ContentStore
     /// along the ancestor chain). CanBePrefix scans skip CS-free
     /// subtrees, so a shared tree dense in PIT/FIB state costs a prefix
@@ -96,14 +102,17 @@ class NameTree {
     /// like the std::map reference.
     size_t cs_in_subtree = 0;
 
+    /// Component count of this entry's name.
     size_t depth() const { return name.size(); }
+    /// Whether any table slot is occupied.
     bool has_payload() const { return cs || pit || fib; }
   };
 
+  /// An empty tree.
   NameTree() = default;
   ~NameTree();
-  NameTree(const NameTree&) = delete;
-  NameTree& operator=(const NameTree&) = delete;
+  NameTree(const NameTree&) = delete;             ///< not copyable
+  NameTree& operator=(const NameTree&) = delete;  ///< not copyable
 
   /// Find-or-insert the entry for @p name, creating payload-free ancestor
   /// entries up to the root. One probe when present; O(depth) on insert.

@@ -1,21 +1,22 @@
-// Interest and Data packets with NDN-TLV wire encoding.
-//
-// DAPES uses ApplicationParameters on Interests to carry its bitmap
-// payloads ("bitmap Interests", paper §IV-D), and Data signatures bind
-// content to names so receivers can reason about provenance (§I). The
-// signature here is the KeyChain MAC scheme documented in
-// crypto/keychain.hpp.
-//
-// Both packet classes follow the cached-wire Block idiom from the NDN
-// ecosystem:
-//   * decode() keeps the source BufferSlice alive and stores large fields
-//     (Content, ApplicationParameters) as zero-copy views into it;
-//   * wire() returns the cached encoding — forwarding an unmodified
-//     packet never re-serializes, and every in-range receiver of one
-//     broadcast frame parses views into the same shared buffer;
-//   * every mutator invalidates the cache.
-// Wire decode entry points are non-throwing: they return std::nullopt on
-// malformed input (the TLV Reader's ParseError stays internal).
+/// @file
+/// Interest and Data packets with NDN-TLV wire encoding.
+///
+/// DAPES uses ApplicationParameters on Interests to carry its bitmap
+/// payloads ("bitmap Interests", paper §IV-D), and Data signatures bind
+/// content to names so receivers can reason about provenance (§I). The
+/// signature here is the KeyChain MAC scheme documented in
+/// crypto/keychain.hpp.
+///
+/// Both packet classes follow the cached-wire Block idiom from the NDN
+/// ecosystem:
+///   * decode() keeps the source BufferSlice alive and stores large fields
+///     (Content, ApplicationParameters) as zero-copy views into it;
+///   * wire() returns the cached encoding — forwarding an unmodified
+///     packet never re-serializes, and every in-range receiver of one
+///     broadcast frame parses views into the same shared buffer;
+///   * every mutator invalidates the cache.
+/// Wire decode entry points are non-throwing: they return std::nullopt on
+/// malformed input (the TLV Reader's ParseError stays internal).
 #pragma once
 
 #include <atomic>
@@ -41,13 +42,14 @@ using common::Duration;
 /// so tests and benches can assert the zero-copy invariants (one encode
 /// per broadcast, one decode per receiving node, cache hits on forward).
 struct CodecCounters {
-  std::atomic<uint64_t> interest_encodes{0};
-  std::atomic<uint64_t> data_encodes{0};
-  std::atomic<uint64_t> interest_decodes{0};
-  std::atomic<uint64_t> data_decodes{0};
+  std::atomic<uint64_t> interest_encodes{0};  ///< Interest serializations
+  std::atomic<uint64_t> data_encodes{0};      ///< Data serializations
+  std::atomic<uint64_t> interest_decodes{0};  ///< Interest parses
+  std::atomic<uint64_t> data_decodes{0};      ///< Data parses
   /// wire() calls answered from the cache without re-serializing.
   std::atomic<uint64_t> wire_cache_hits{0};
 
+  /// Zero every counter (tests isolate phases with this).
   void reset() {
     interest_encodes = data_encodes = 0;
     interest_decodes = data_decodes = 0;
@@ -55,56 +57,75 @@ struct CodecCounters {
   }
 };
 
+/// The process-wide CodecCounters instance.
 CodecCounters& codec_counters();
 
+/// NDN Interest with cached wire encoding (see file comment).
 class Interest {
  public:
+  /// Empty Interest (no name).
   Interest() = default;
+  /// Interest for @p name with default selectors.
   explicit Interest(Name name) : name_(std::move(name)) {}
 
+  /// The requested name.
   const Name& name() const { return name_; }
+  /// Replace the name (invalidates the wire cache).
   void set_name(Name name) {
     name_ = std::move(name);
     invalidate_wire();
   }
 
+  /// Loop-detection nonce.
   uint32_t nonce() const { return nonce_; }
+  /// Set the nonce (invalidates the wire cache).
   void set_nonce(uint32_t nonce) {
     nonce_ = nonce;
     invalidate_wire();
   }
 
+  /// May Data under a longer name satisfy this Interest?
   bool can_be_prefix() const { return can_be_prefix_; }
+  /// Set CanBePrefix (invalidates the wire cache).
   void set_can_be_prefix(bool v) {
     can_be_prefix_ = v;
     invalidate_wire();
   }
 
+  /// PIT lifetime requested by the consumer.
   Duration lifetime() const { return lifetime_; }
+  /// Set the lifetime (invalidates the wire cache).
   void set_lifetime(Duration d) {
     lifetime_ = d;
     invalidate_wire();
   }
 
+  /// Remaining hop budget (decremented per network hop).
   uint8_t hop_limit() const { return hop_limit_; }
+  /// Set the hop limit (invalidates the wire cache).
   void set_hop_limit(uint8_t h) {
     hop_limit_ = h;
     invalidate_wire();
   }
 
+  /// ApplicationParameters payload (DAPES bitmap Interests).
   BytesView app_parameters() const { return app_parameters_.view(); }
+  /// Set ApplicationParameters from owned bytes (invalidates the cache).
   void set_app_parameters(Bytes params) {
     app_parameters_ = BufferSlice(std::move(params));
     invalidate_wire();
   }
+  /// Set ApplicationParameters as a shared slice (invalidates the cache).
   void set_app_parameters(BufferSlice params) {
     app_parameters_ = std::move(params);
     invalidate_wire();
   }
+  /// Whether ApplicationParameters are present.
   bool has_app_parameters() const { return !app_parameters_.empty(); }
 
   /// The cached wire encoding; serialized at most once per mutation.
   const BufferSlice& wire() const;
+  /// Whether the wire cache is currently valid (tests/instrumentation).
   bool has_wire() const { return !wire_.empty(); }
 
   /// Deep-copy convenience (build-side compat; hot paths use wire()).
@@ -118,6 +139,7 @@ class Interest {
     return decode(BufferSlice::copy_of(wire));
   }
 
+  /// Field-wise equality (wire caches are ignored).
   bool operator==(const Interest& other) const {
     return name_ == other.name_ && nonce_ == other.nonce_ &&
            can_be_prefix_ == other.can_be_prefix_ &&
@@ -137,33 +159,44 @@ class Interest {
   mutable BufferSlice wire_;
 };
 
+/// NDN Data packet with cached wire encoding (see file comment).
 class Data {
  public:
+  /// Empty Data (no name, no content).
   Data() = default;
+  /// Data named @p name with empty content.
   explicit Data(Name name) : name_(std::move(name)) {}
 
+  /// The packet name.
   const Name& name() const { return name_; }
+  /// Replace the name (invalidates the wire cache).
   void set_name(Name name) {
     name_ = std::move(name);
     invalidate_wire();
   }
 
+  /// Content payload (a view into the decode buffer after decode()).
   BytesView content() const { return content_.view(); }
+  /// Set content from owned bytes (invalidates the wire cache).
   void set_content(Bytes content) {
     content_ = BufferSlice(std::move(content));
     invalidate_wire();
   }
+  /// Set content as a shared slice (invalidates the wire cache).
   void set_content(BufferSlice content) {
     content_ = std::move(content);
     invalidate_wire();
   }
 
+  /// Content-Store freshness period.
   Duration freshness() const { return freshness_; }
+  /// Set the freshness period (invalidates the wire cache).
   void set_freshness(Duration d) {
     freshness_ = d;
     invalidate_wire();
   }
 
+  /// The signature, if the packet has been signed or decoded with one.
   const std::optional<crypto::Signature>& signature() const { return signature_; }
 
   /// Sign with the producer's key: binds (name, content).
@@ -177,6 +210,7 @@ class Data {
 
   /// The cached wire encoding; serialized at most once per mutation.
   const BufferSlice& wire() const;
+  /// Whether the wire cache is currently valid (tests/instrumentation).
   bool has_wire() const { return !wire_.empty(); }
 
   /// Deep-copy convenience (build-side compat; hot paths use wire()).
@@ -190,6 +224,7 @@ class Data {
     return decode(BufferSlice::copy_of(wire));
   }
 
+  /// Field-wise equality (wire caches are ignored).
   bool operator==(const Data& other) const {
     return name_ == other.name_ && freshness_ == other.freshness_ &&
            signature_ == other.signature_ &&
@@ -212,11 +247,12 @@ class Data {
 /// into the original frame buffer.
 using DataPtr = std::shared_ptr<const Data>;
 
-/// Name TLV helpers shared by every codec that embeds names.
-/// parse_name seeds the Name's incremental hash cache while the component
-/// bytes are hot, so table probes on the forwarding path never re-read
-/// them.
+/// Append @p name as a Name TLV element — the helper every codec that
+/// embeds names shares.
 void append_name(tlv::Writer& w, const Name& name);
+/// Parse a Name TLV value, seeding the Name's incremental hash cache
+/// while the component bytes are hot, so table probes on the forwarding
+/// path never re-read them.
 Name parse_name(BytesView value);
 
 }  // namespace dapes::ndn

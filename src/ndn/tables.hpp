@@ -1,20 +1,21 @@
-// NFD-lite data plane tables: Content Store, Pending Interest Table, and
-// Forwarding Information Base (paper Fig. 1).
-//
-// All three are views over one shared NameTree (src/ndn/name_tree.hpp):
-// exact lookups are a single hash probe on the Name's cached hash, prefix
-// queries and longest-prefix match walk cached per-prefix hashes, and the
-// CS LRU is an intrusive list of tree-entry pointers — no Name is copied
-// or compared byte-by-byte on the forwarding path. Semantics are
-// bit-identical to the retained std::map reference implementation
-// (src/ndn/tables_ref.hpp); tests/test_name_tree.cpp proves it on
-// randomized workloads. Sizes are bounded; the CS evicts LRU, which is
-// what lets pure forwarders serve overheard data (paper §V-A) without
-// unbounded memory.
-//
-// Standalone construction (`ContentStore cs;`) gives each table a private
-// tree; a Forwarder passes one shared tree to all three so a name's CS,
-// PIT and FIB state share an entry.
+/// @file
+/// NFD-lite data plane tables: Content Store, Pending Interest Table, and
+/// Forwarding Information Base (paper Fig. 1).
+///
+/// All three are views over one shared NameTree (src/ndn/name_tree.hpp):
+/// exact lookups are a single hash probe on the Name's cached hash, prefix
+/// queries and longest-prefix match walk cached per-prefix hashes, and the
+/// CS LRU is an intrusive list of tree-entry pointers — no Name is copied
+/// or compared byte-by-byte on the forwarding path. Semantics are
+/// bit-identical to the retained std::map reference implementation
+/// (src/ndn/tables_ref.hpp); tests/test_name_tree.cpp proves it on
+/// randomized workloads. Sizes are bounded; the CS evicts LRU, which is
+/// what lets pure forwarders serve overheard data (paper §V-A) without
+/// unbounded memory.
+///
+/// Standalone construction (`ContentStore cs;`) gives each table a private
+/// tree; a Forwarder passes one shared tree to all three so a name's CS,
+/// PIT and FIB state share an entry.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +39,8 @@ namespace dapes::ndn {
 /// never deep-copies content or wire bytes.
 class ContentStore {
  public:
+  /// CS holding up to @p capacity entries, on @p tree (a private tree
+  /// when null).
   explicit ContentStore(size_t capacity = 4096,
                         std::shared_ptr<NameTree> tree = nullptr)
       : capacity_(capacity),
@@ -51,6 +54,7 @@ class ContentStore {
     if (refresh(data.name(), now + data.freshness())) return;
     insert(std::make_shared<const Data>(data), now);
   }
+  /// Insert (or refresh) an already-shared Data handle.
   void insert(DataPtr data, TimePoint now = TimePoint::zero());
 
   /// Exact-name lookup; @p can_be_prefix widens to "any data under name".
@@ -58,11 +62,14 @@ class ContentStore {
   DataPtr find(const Name& name, bool can_be_prefix = false,
                TimePoint now = TimePoint::zero());
 
+  /// Whether an entry with this exact name exists (expired or not).
   bool contains(const Name& name) const {
     NameTree::Entry* e = tree_->find_exact(name);
     return e != nullptr && e->cs != nullptr;
   }
+  /// Live entries stored.
   size_t size() const { return size_; }
+  /// Entry cap (LRU eviction beyond it).
   size_t capacity() const { return capacity_; }
 
   /// Approximate memory footprint (content bytes), for Table-I style
@@ -93,8 +100,10 @@ class ContentStore {
   NameTree::Entry* lru_tail_ = nullptr;
 };
 
+/// Pending Interest Table over the shared NameTree.
 class Pit {
  public:
+  /// PIT on @p tree (a private tree when null).
   explicit Pit(std::shared_ptr<NameTree> tree = nullptr)
       : tree_(tree ? std::move(tree) : std::make_shared<NameTree>()) {}
 
@@ -109,7 +118,9 @@ class Pit {
   /// Insert a new entry; returns a stable reference.
   PitEntry& insert(const Name& name);
 
+  /// Remove the entry with this exact name (no-op when absent).
   void erase(const Name& name);
+  /// Live entries.
   size_t size() const { return size_; }
 
   /// True if @p nonce was already recorded anywhere for @p name
@@ -131,10 +142,13 @@ class Pit {
 /// Longest-prefix-match routing table: prefix -> out-faces.
 class Fib {
  public:
+  /// FIB on @p tree (a private tree when null).
   explicit Fib(std::shared_ptr<NameTree> tree = nullptr)
       : tree_(tree ? std::move(tree) : std::make_shared<NameTree>()) {}
 
+  /// Register @p face as a next hop for @p prefix.
   void add_route(const Name& prefix, FaceId face);
+  /// Unregister @p face from @p prefix (erasing empty routes).
   void remove_route(const Name& prefix, FaceId face);
 
   /// Faces for the longest matching prefix (empty when no route).
@@ -143,6 +157,7 @@ class Fib {
   /// All registered prefixes pointing at @p face (used by app discovery).
   std::vector<Name> prefixes_for(FaceId face) const;
 
+  /// Registered prefixes.
   size_t size() const { return size_; }
 
  private:

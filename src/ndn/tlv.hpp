@@ -1,16 +1,17 @@
-// NDN TLV encoding (subset of the NDN Packet Format Specification v0.3).
-//
-// Type and Length use the NDN variable-size number encoding: one byte for
-// values < 253, 0xFD + 2 bytes, 0xFE + 4 bytes, 0xFF + 8 bytes. This codec
-// is shared by Interest/Data wire encoding, DAPES control/metadata
-// payloads, and (for its raw primitives) the IP-lite packet codec — there
-// is exactly one encoding idiom in the repo:
-//
-//   * `Writer` builds an encoding into a single growing buffer with
-//     back-patched lengths for nested elements (no intermediate vectors),
-//     then freezes it into a shared `BufferSlice` via `finish()`.
-//   * `Reader` walks an encoding and yields elements as `BufferSlice`
-//     sub-views that keep the source buffer alive — decoding is zero-copy.
+/// @file
+/// NDN TLV encoding (subset of the NDN Packet Format Specification v0.3).
+///
+/// Type and Length use the NDN variable-size number encoding: one byte for
+/// values < 253, 0xFD + 2 bytes, 0xFE + 4 bytes, 0xFF + 8 bytes. This codec
+/// is shared by Interest/Data wire encoding, DAPES control/metadata
+/// payloads, and (for its raw primitives) the IP-lite packet codec — there
+/// is exactly one encoding idiom in the repo:
+///
+///   * `Writer` builds an encoding into a single growing buffer with
+///     back-patched lengths for nested elements (no intermediate vectors),
+///     then freezes it into a shared `BufferSlice` via `finish()`.
+///   * `Reader` walks an encoding and yields elements as `BufferSlice`
+///     sub-views that keep the source buffer alive — decoding is zero-copy.
 #pragma once
 
 #include <cstdint>
@@ -44,8 +45,10 @@ enum Type : uint64_t {
   kKeyLocator = 0x1c,
 };
 
+/// Thrown by Reader on malformed/truncated input. Internal to the codec
+/// layer: public decode entry points catch it and return nullopt.
 struct ParseError : std::runtime_error {
-  using std::runtime_error::runtime_error;
+  using std::runtime_error::runtime_error;  ///< inherit constructors
 };
 
 /// Append a TLV variable-size number (primitive shared with Writer).
@@ -63,28 +66,36 @@ void append_tlv_number(common::Bytes& out, uint64_t type, uint64_t value);
 /// on end(), so no intermediate per-element vectors are allocated.
 class Writer {
  public:
+  /// Empty writer.
   Writer() = default;
+  /// Empty writer with @p reserve bytes pre-allocated.
   explicit Writer(size_t reserve) { out_.reserve(reserve); }
 
   // -- raw primitives (shared with non-TLV codecs like IP-lite) --------
+  /// Append one raw byte.
   void byte(uint8_t b) { out_.push_back(b); }
+  /// Append @p value big-endian in @p width bytes.
   void be(uint64_t value, size_t width) { common::append_be(out_, value, width); }
+  /// Append raw bytes verbatim.
   void raw(common::BytesView bytes) {
     out_.insert(out_.end(), bytes.begin(), bytes.end());
   }
 
   // -- TLV ---------------------------------------------------------------
+  /// Append a TLV variable-size number.
   void varnum(uint64_t value) { append_varnum(out_, value); }
+  /// Append a complete TLV element.
   void tlv(uint64_t type, common::BytesView value) {
     append_tlv(out_, type, value);
   }
+  /// Append a TLV NonNegativeInteger element.
   void tlv_number(uint64_t type, uint64_t value) {
     append_tlv_number(out_, type, value);
   }
 
   /// Handle for an open nested element; pass to end().
   struct Nested {
-    size_t length_pos = 0;
+    size_t length_pos = 0;  ///< offset of the reserved length byte
   };
 
   /// Open a nested TLV element: writes the type, reserves the length.
@@ -94,6 +105,7 @@ class Writer {
   /// Nested elements must be closed innermost-first.
   void end(Nested nested);
 
+  /// Bytes written so far.
   size_t size() const { return out_.size(); }
 
   /// Move the built bytes out (build side keeps mutable Bytes semantics).
@@ -114,11 +126,15 @@ class Writer {
 /// caller must keep the bytes alive).
 class Reader {
  public:
+  /// Read from borrowed bytes; yielded elements are unowned views.
   explicit Reader(common::BytesView data)
       : data_(common::BufferSlice::unowned(data)) {}
+  /// Read from a shared slice; yielded elements share the buffer.
   explicit Reader(common::BufferSlice data) : data_(std::move(data)) {}
 
+  /// True once every byte has been consumed.
   bool at_end() const { return offset_ >= data_.size(); }
+  /// Current read position.
   size_t offset() const { return offset_; }
 
   /// Read a variable-size number. @throws ParseError on truncation.
@@ -127,11 +143,12 @@ class Reader {
   /// Peek the type of the next element without consuming it.
   uint64_t peek_type();
 
-  /// Read the next element header and return its value as a sub-slice.
+  /// One decoded element: type + value sub-slice.
   struct Element {
-    uint64_t type;
-    common::BufferSlice value;
+    uint64_t type;              ///< TLV type number
+    common::BufferSlice value;  ///< value bytes (shares the source)
   };
+  /// Read the next element header and return its value as a sub-slice.
   Element read_element();
 
   /// Read the next element, requiring the given type.

@@ -1,0 +1,185 @@
+#include "sim/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dapes::sim {
+
+namespace {
+
+/// Coverage cutoff of the log-distance model, in units of link margin:
+/// the probability mass truncated beyond `kCutSigmas` shadowing standard
+/// deviations plus `kCutSoftness` reception-curve widths is below ~3e-4
+/// per link — negligible next to the modeled loss processes, and the
+/// deterministic cutoff is what keeps the spatial grid and the
+/// brute-force reference bit-identical (DESIGN.md "Channel & PHY
+/// models").
+constexpr double kCutSigmas = 4.0;
+constexpr double kCutSoftness = 8.0;
+
+/// Distances below this (meters) clamp before entering log10: a
+/// co-located pair would otherwise produce an infinite margin.
+constexpr double kMinDistance = 1e-3;
+
+/// The paper's idealized channel, retained as the deterministic
+/// reference. Binary unit-disk connectivity at the nominal range,
+/// airtime linear in frame bytes, the historic distance-ratio capture
+/// rule, and — crucially — reception draws taken from the medium's
+/// shared sequential RNG stream in receiver order, so every paper-scale
+/// sweep is bit-identical to the pre-channel-layer medium.
+class UnitDiskChannel final : public ChannelModel {
+ public:
+  explicit UnitDiskChannel(double capture_ratio)
+      : capture_ratio_(capture_ratio) {}
+
+  const std::string& name() const override {
+    static const std::string n = "unit-disk";
+    return n;
+  }
+
+  double coverage_m(double tx_range_m) const override { return tx_range_m; }
+
+  Duration airtime(size_t on_air_bytes, double data_rate_bps) const override {
+    double bits = static_cast<double>(on_air_bytes) * 8.0;
+    double seconds = bits / data_rate_bps;
+    return Duration::seconds(seconds);
+  }
+
+  double reception_probability(double distance_m,
+                               double tx_range_m) const override {
+    return distance_m <= tx_range_m ? 1.0 : 0.0;
+  }
+
+  bool receives(double distance_m, double tx_range_m, double loss_rate,
+                common::Rng& /*link_rng*/,
+                common::Rng& frame_rng) const override {
+    if (distance_m > tx_range_m) return false;
+    return !frame_rng.chance(loss_rate);
+  }
+
+  bool captured(double own_distance_m, double /*own_range_m*/,
+                double interferer_distance_m,
+                double /*interferer_range_m*/) const override {
+    return capture_ratio_ > 0.0 &&
+           own_distance_m <= capture_ratio_ * interferer_distance_m;
+  }
+
+  bool deterministic_reference() const override { return true; }
+
+ private:
+  double capture_ratio_;
+};
+
+/// Log-distance path loss with optional log-normal shadowing, a logistic
+/// reception curve, an SIR-threshold capture rule, and a preamble-aware
+/// airtime model.
+///
+/// Everything is expressed as a link margin in dB relative to the
+/// transmitter's nominal range R (where the margin is 0):
+///
+///   margin(d) = 10 * alpha * log10(R / d)  [+ N(0, sigma) shadowing]
+///
+/// Reception probability is logistic(margin / softness) — 0.5 at the
+/// nominal range, approaching a hard unit-disk step as softness -> 0 —
+/// scaled by (1 - loss_rate) for the medium's ambient loss. The nominal
+/// range doubles as the transmit-power proxy, so mixed-range radios
+/// (hetero.radio) fall out of the same formula, including capture:
+/// a frame is captured when its SIR advantage over the interferer,
+/// 10*alpha*log10((own_R/own_d) / (intf_R/intf_d)), meets the threshold.
+class LogDistanceChannel final : public ChannelModel {
+ public:
+  explicit LogDistanceChannel(const ChannelParams& p)
+      : alpha_(std::max(0.1, p.path_loss_exponent)),
+        sigma_db_(std::max(0.0, p.shadowing_sigma_db)),
+        softness_db_(std::max(0.0, p.softness_db)),
+        capture_threshold_db_(p.capture_threshold_db),
+        preamble_s_(std::max(0.0, p.preamble_us) * 1e-6),
+        // Solve margin(d) = -cut for d: the hard audibility cutoff.
+        coverage_factor_(std::pow(
+            10.0,
+            (kCutSigmas * sigma_db_ + kCutSoftness * softness_db_) /
+                (10.0 * alpha_))) {}
+
+  const std::string& name() const override {
+    static const std::string n = "log-distance";
+    return n;
+  }
+
+  double coverage_m(double tx_range_m) const override {
+    return tx_range_m * coverage_factor_;
+  }
+
+  Duration airtime(size_t on_air_bytes, double data_rate_bps) const override {
+    double bits = static_cast<double>(on_air_bytes) * 8.0;
+    return Duration::seconds(preamble_s_ + bits / data_rate_bps);
+  }
+
+  double reception_probability(double distance_m,
+                               double tx_range_m) const override {
+    if (distance_m > coverage_m(tx_range_m)) return 0.0;
+    return curve(margin_db(distance_m, tx_range_m));
+  }
+
+  bool receives(double distance_m, double tx_range_m, double loss_rate,
+                common::Rng& link_rng,
+                common::Rng& frame_rng) const override {
+    if (distance_m > coverage_m(tx_range_m)) return false;
+    double margin = margin_db(distance_m, tx_range_m);
+    // link_rng restarts from the same per-pair seed on every frame, so
+    // this draw is the link's fixed shadowing value for the whole trial.
+    if (sigma_db_ > 0.0) margin += sigma_db_ * link_rng.gaussian();
+    double p = curve(margin) * (1.0 - std::clamp(loss_rate, 0.0, 1.0));
+    return frame_rng.uniform01() < p;
+  }
+
+  bool captured(double own_distance_m, double own_range_m,
+                double interferer_distance_m,
+                double interferer_range_m) const override {
+    const double sir_db = margin_db(own_distance_m, own_range_m) -
+                          margin_db(interferer_distance_m, interferer_range_m);
+    return sir_db >= capture_threshold_db_;
+  }
+
+ private:
+  /// Mean link margin in dB at distance d from a transmitter of nominal
+  /// range R: positive inside R, 0 at R, -10*alpha per decade beyond.
+  double margin_db(double distance_m, double tx_range_m) const {
+    return 10.0 * alpha_ *
+           std::log10(tx_range_m / std::max(distance_m, kMinDistance));
+  }
+
+  /// The probabilistic reception curve over the link margin: logistic
+  /// with width softness_db_, degenerating to a step when the width is 0.
+  double curve(double margin) const {
+    if (softness_db_ <= 0.0) return margin >= 0.0 ? 1.0 : 0.0;
+    return 1.0 / (1.0 + std::exp(-margin / softness_db_));
+  }
+
+  double alpha_;
+  double sigma_db_;
+  double softness_db_;
+  double capture_threshold_db_;
+  double preamble_s_;
+  double coverage_factor_;
+};
+
+}  // namespace
+
+ChannelModelPtr make_channel_model(const ChannelParams& params) {
+  if (params.model == "unit-disk") {
+    return std::make_shared<UnitDiskChannel>(params.capture_ratio);
+  }
+  if (params.model == "log-distance") {
+    return std::make_shared<LogDistanceChannel>(params);
+  }
+  std::string msg = "unknown channel model \"" + params.model + "\"; known:";
+  for (const auto& n : channel_model_names()) msg += " " + n;
+  throw std::invalid_argument(msg);
+}
+
+std::vector<std::string> channel_model_names() {
+  return {"log-distance", "unit-disk"};
+}
+
+}  // namespace dapes::sim

@@ -1,0 +1,153 @@
+/// @file
+/// Pluggable channel/PHY models for the wireless medium.
+///
+/// The paper's evaluation runs on an idealized unit-disk channel (binary
+/// range check + independent Bernoulli loss). That model is retained,
+/// bit-for-bit, as the deterministic reference; this layer makes the
+/// channel a plug point so scenario families can also run under
+/// log-distance path loss with optional log-normal shadowing, a
+/// probabilistic reception curve, an SIR-based capture rule, and an
+/// airtime model with a fixed PHY preamble. `sim::Medium` routes every
+/// delivery, carrier-sense and collision decision through the installed
+/// model; see DESIGN.md "Channel & PHY models" for the invariants
+/// (deterministic coverage cutoff, keyed per-link draws) that keep the
+/// spatial grid, the brute-force reference and any `--jobs` value
+/// bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace dapes::sim {
+
+using common::Duration;
+
+/// Configuration for `make_channel_model`. One flat parameter set serves
+/// every model; each model documents which fields it reads. The struct is
+/// part of `Medium::Params` (and of the harness `ScenarioParams`), so
+/// sweep axes can vary any field per trial.
+struct ChannelParams {
+  /// Registry name of the model: "unit-disk" (the deterministic paper
+  /// reference, the default) or "log-distance". See
+  /// `channel_model_names()`.
+  std::string model = "unit-disk";
+
+  /// Unit-disk capture rule: a frame survives an overlapping interferer
+  /// when its sender is at most this fraction of the interferer's
+  /// distance from the receiver (power advantage ~1/ratio^2). 0 disables
+  /// capture (any overlap kills both frames). Read by "unit-disk" only.
+  double capture_ratio = 0.7;
+
+  /// Log-distance path-loss exponent (alpha): free space is 2, typical
+  /// outdoor 2.7-4, obstructed indoor up to 6. Read by "log-distance".
+  double path_loss_exponent = 3.0;
+
+  /// Log-normal shadowing standard deviation in dB; 0 disables it.
+  /// Shadowing is quasi-static per link: one N(0, sigma) value per
+  /// unordered node pair, fixed for the whole trial (drawn from a stream
+  /// keyed by the pair, not by the frame). Read by "log-distance".
+  double shadowing_sigma_db = 0.0;
+
+  /// Width of the probabilistic reception curve in dB: reception
+  /// probability is logistic(margin / softness). 0 makes reception a
+  /// hard threshold at the nominal range. Read by "log-distance".
+  double softness_db = 2.0;
+
+  /// SIR advantage (dB) a frame needs over an interferer for
+  /// physical-layer capture. Read by "log-distance".
+  double capture_threshold_db = 6.0;
+
+  /// Fixed PHY preamble added to every frame's airtime (802.11b long
+  /// PLCP preamble is 192 us). Read by "log-distance".
+  double preamble_us = 192.0;
+
+  /// Base seed for the keyed per-link reception draws of the
+  /// non-reference models. The harness derives it from the trial seed
+  /// (`Topology`); 0 means "derive from nothing", which is still
+  /// deterministic but shared across trials — set it per trial.
+  uint64_t link_seed = 0;
+};
+
+/// One channel/PHY model. Implementations are immutable after
+/// construction and therefore safe to share across concurrent trials.
+///
+/// The contract that keeps outcomes independent of the medium's spatial
+/// index and of delivery enumeration order:
+///  - `coverage_m` is a deterministic hard cutoff: beyond it the model
+///    must report reception probability exactly 0 and the medium treats
+///    the transmission as inaudible (carrier sense, collision marking).
+///  - Models with `deterministic_reference() == false` must make every
+///    stochastic choice from the per-link `Rng` handed to `receives`
+///    (keyed by (link_seed, transmission, receiver)), never from shared
+///    state, so draws are independent of the order receivers are visited.
+class ChannelModel {
+ public:
+  virtual ~ChannelModel() = default;
+
+  /// Registry name ("unit-disk", "log-distance").
+  virtual const std::string& name() const = 0;
+
+  /// Hard audibility cutoff (meters) for a transmitter whose nominal
+  /// radio range is @p tx_range_m. Beyond this distance the transmission
+  /// cannot be received, carrier-sensed, or collide with anything.
+  /// Monotone in @p tx_range_m.
+  virtual double coverage_m(double tx_range_m) const = 0;
+
+  /// Time a frame of @p on_air_bytes (payload + MAC overhead) occupies
+  /// the channel at @p data_rate_bps. Strictly increasing in the byte
+  /// count.
+  virtual Duration airtime(size_t on_air_bytes, double data_rate_bps) const = 0;
+
+  /// Probability that a frame from a transmitter of nominal range
+  /// @p tx_range_m is decodable at @p distance_m, before collisions,
+  /// shadowing and the medium's independent loss rate. Deterministic and
+  /// non-increasing in @p distance_m; exactly 0 beyond
+  /// `coverage_m(tx_range_m)`.
+  virtual double reception_probability(double distance_m,
+                                       double tx_range_m) const = 0;
+
+  /// Decide whether a non-collided frame is received. @p link_rng is a
+  /// stream keyed by the (unordered) node pair and re-seeded identically
+  /// for every frame between them, so draws from it — shadowing — are
+  /// *quasi-static per link* across a trial. @p frame_rng is keyed by
+  /// (transmission, receiver): fresh randomness per frame (the reception
+  /// draw, folding in @p loss_rate, the medium's distance-independent
+  /// Bernoulli loss). For the deterministic reference both parameters
+  /// alias the medium's shared sequential stream.
+  virtual bool receives(double distance_m, double tx_range_m,
+                        double loss_rate, common::Rng& link_rng,
+                        common::Rng& frame_rng) const = 0;
+
+  /// Physical-layer capture: does a frame whose sender (nominal range
+  /// @p own_range_m) is @p own_distance_m from the receiver survive an
+  /// overlapping interferer (range @p interferer_range_m) at
+  /// @p interferer_distance_m? Must be a pure per-interferer predicate —
+  /// the medium folds it over all interferers, so order cannot matter.
+  virtual bool captured(double own_distance_m, double own_range_m,
+                        double interferer_distance_m,
+                        double interferer_range_m) const = 0;
+
+  /// True for the unit-disk reference: reception draws consume the
+  /// medium's shared sequential RNG stream in receiver order, preserving
+  /// bit-identity with the pre-channel-layer medium. All other models
+  /// use keyed per-link streams.
+  virtual bool deterministic_reference() const { return false; }
+};
+
+/// Shared immutable handle; one instance may serve many trials.
+using ChannelModelPtr = std::shared_ptr<const ChannelModel>;
+
+/// Build the model named by `params.model`. Throws std::invalid_argument
+/// on an unknown name, listing the registered ones.
+ChannelModelPtr make_channel_model(const ChannelParams& params);
+
+/// Names accepted by `make_channel_model`, sorted.
+std::vector<std::string> channel_model_names();
+
+}  // namespace dapes::sim

@@ -1,25 +1,35 @@
-// 2-D geometry helpers for the mobility models and the range-based
-// connectivity test in the wireless medium.
+/// @file
+/// 2-D geometry helpers for the mobility models and the range-based
+/// connectivity test in the wireless medium.
 #pragma once
 
 #include <cmath>
 
 namespace dapes::sim {
 
+/// 2-D position or displacement in meters.
 struct Vec2 {
-  double x = 0.0;
-  double y = 0.0;
+  double x = 0.0;  ///< meters
+  double y = 0.0;  ///< meters
 
+  /// Component-wise sum.
   constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  /// Component-wise difference.
   constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  /// Scale by @p k.
   constexpr Vec2 operator*(double k) const { return {x * k, y * k}; }
+  /// Exact component-wise equality.
   constexpr bool operator==(const Vec2&) const = default;
 
+  /// Euclidean length.
   double norm() const { return std::sqrt(x * x + y * y); }
 };
 
+/// Euclidean distance between @p a and @p b.
 inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
 
+/// The exact connectivity predicate every spatial-index candidate is
+/// re-checked with: squared-distance comparison, boundary inclusive.
 inline bool within_range(Vec2 a, Vec2 b, double range) {
   double dx = a.x - b.x;
   double dy = a.y - b.y;
@@ -28,9 +38,10 @@ inline bool within_range(Vec2 a, Vec2 b, double range) {
 
 /// Axis-aligned field the nodes move in (paper Fig. 7: 300 m x 300 m).
 struct Field {
-  double width = 300.0;
-  double height = 300.0;
+  double width = 300.0;   ///< meters
+  double height = 300.0;  ///< meters
 
+  /// Project @p p onto the field box (the nearest in-field point).
   Vec2 clamp(Vec2 p) const {
     if (p.x < 0) p.x = 0;
     if (p.y < 0) p.y = 0;
@@ -39,6 +50,7 @@ struct Field {
     return p;
   }
 
+  /// True when @p p lies inside the field (boundary inclusive).
   bool contains(Vec2 p) const {
     return p.x >= 0 && p.y >= 0 && p.x <= width && p.y <= height;
   }

@@ -7,10 +7,11 @@ namespace dapes::sim {
 
 namespace {
 
-/// Two senders can only corrupt each other at a common receiver if they
-/// are within 2x range of each other (triangle inequality); the slack
-/// absorbs floating-point rounding in the squared-distance predicate so
-/// the pruned index can never drop a pair the reference would mark.
+/// Two senders can only corrupt each other at a common receiver if that
+/// receiver hears both, i.e. they are within the sum of their coverage
+/// radii of each other (triangle inequality); the slack absorbs
+/// floating-point rounding in the squared-distance predicate so the
+/// pruned index can never drop a pair the reference would mark.
 constexpr double kCollisionSlack = 1e-6;
 
 /// Mirror of SpatialHashGrid's cell-size clamp, for staleness checks.
@@ -19,7 +20,10 @@ double cell_for(double range_m) { return range_m > 1e-9 ? range_m : 1e-9; }
 }  // namespace
 
 Medium::Medium(Scheduler& sched, Params params, common::Rng rng)
-    : sched_(sched), params_(params), rng_(rng) {
+    : sched_(sched),
+      params_(params),
+      channel_(make_channel_model(params.channel)),
+      rng_(rng) {
   tx_grid_.set_cell_size(cell_for(params_.range_m));
 }
 
@@ -27,23 +31,42 @@ NodeId Medium::add_node(MobilityModel* mobility, ReceiveCallback on_receive) {
   if (mobility == nullptr) {
     throw std::invalid_argument("Medium::add_node: null mobility");
   }
-  nodes_.push_back(NodeEntry{mobility, std::move(on_receive)});
+  nodes_.push_back(NodeEntry{mobility, std::move(on_receive), 1.0});
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
+void Medium::set_node_range_factor(NodeId node, double factor) {
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument("Medium::set_node_range_factor: factor <= 0");
+  }
+  nodes_.at(node).range_factor = factor;
+  max_range_factor_ = 1.0;
+  hetero_ranges_ = false;
+  for (const NodeEntry& entry : nodes_) {
+    max_range_factor_ = std::max(max_range_factor_, entry.range_factor);
+    if (entry.range_factor != 1.0) hetero_ranges_ = true;
+  }
+}
+
 Duration Medium::frame_duration(size_t payload_bytes) const {
-  double bits =
-      static_cast<double>(payload_bytes + params_.frame_overhead_bytes) * 8.0;
-  double seconds = bits / params_.data_rate_bps;
-  return Duration::seconds(seconds);
+  return channel_->airtime(payload_bytes + params_.frame_overhead_bytes,
+                           params_.data_rate_bps);
 }
 
 Vec2 Medium::position_of(NodeId node) const {
   return nodes_.at(node).mobility->position_at(sched_.now());
 }
 
+double Medium::range_of(NodeId node) const {
+  return params_.range_m * nodes_.at(node).range_factor;
+}
+
+double Medium::max_coverage_m() const {
+  return channel_->coverage_m(params_.range_m * max_range_factor_);
+}
+
 bool Medium::in_range(NodeId a, NodeId b) const {
-  return within_range(position_of(a), position_of(b), params_.range_m);
+  return within_range(position_of(a), position_of(b), range_of(a));
 }
 
 void Medium::set_range(double range_m) {
@@ -94,29 +117,30 @@ double Medium::node_grid_slack() const {
 }
 
 template <typename Fn>
-void Medium::for_each_in_range(Vec2 center, NodeId exclude, Fn&& fn) const {
+void Medium::for_each_in_range(Vec2 center, double radius_m, NodeId exclude,
+                               Fn&& fn) const {
   const TimePoint now = sched_.now();
   if (params_.brute_force) {
     for (NodeId other = 0; other < nodes_.size(); ++other) {
       if (other == exclude) continue;
       Vec2 p = nodes_[other].mobility->position_at(now);
-      if (within_range(center, p, params_.range_m)) fn(other, p);
+      if (within_range(center, p, radius_m)) fn(other, p);
     }
     return;
   }
   ensure_node_grid();
   node_grid_.for_each_candidate(
-      center, params_.range_m + node_grid_slack(), [&](uint64_t id, Vec2) {
+      center, radius_m + node_grid_slack(), [&](uint64_t id, Vec2) {
         NodeId other = static_cast<NodeId>(id);
         if (other == exclude) return;
         Vec2 p = nodes_[other].mobility->position_at(now);
-        if (within_range(center, p, params_.range_m)) fn(other, p);
+        if (within_range(center, p, radius_m)) fn(other, p);
       });
 }
 
 std::vector<NodeId> Medium::neighbors_of(NodeId node) const {
   std::vector<NodeId> out;
-  for_each_in_range(position_of(node), node,
+  for_each_in_range(position_of(node), range_of(node), node,
                     [&](NodeId other, Vec2) { out.push_back(other); });
   // The reference scans in ascending NodeId order; match it exactly
   // (already sorted in brute mode, so this is a no-op there).
@@ -126,7 +150,7 @@ std::vector<NodeId> Medium::neighbors_of(NodeId node) const {
 
 size_t Medium::degree_of(NodeId node) const {
   size_t degree = 0;
-  for_each_in_range(position_of(node), node,
+  for_each_in_range(position_of(node), range_of(node), node,
                     [&](NodeId, Vec2) { ++degree; });
   return degree;
 }
@@ -149,6 +173,8 @@ void Medium::transmit(FramePtr frame, SendCompleteCallback on_complete) {
   tx.id = id;
   tx.frame = frame;
   tx.sender_pos = position_of(sender);
+  tx.range_m = range_of(sender);
+  tx.coverage_m = channel_->coverage_m(tx.range_m);
   tx.start = start;
   tx.end = end;
   tx.on_complete = std::move(on_complete);
@@ -158,28 +184,33 @@ void Medium::transmit(FramePtr frame, SendCompleteCallback on_complete) {
   // set of frames still active now.
   if (params_.brute_force) {
     for (auto& [other_id, other] : active_) {
-      other.collider_positions.push_back(tx.sender_pos);
-      tx.collider_positions.push_back(other.sender_pos);
+      other.colliders.push_back({tx.sender_pos, tx.coverage_m, tx.range_m});
+      tx.colliders.push_back(
+          {other.sender_pos, other.coverage_m, other.range_m});
     }
   } else {
-    // Range-pruned marking: senders farther apart than 2x range share no
-    // receiver, so skipping them cannot change any delivery outcome.
-    const double prune = 2.0 * params_.range_m + kCollisionSlack;
+    // Coverage-pruned marking: senders farther apart than the sum of the
+    // two largest possible coverage radii share no audible receiver, so
+    // skipping them cannot change any delivery outcome.
+    const double prune = tx.coverage_m + max_coverage_m() + kCollisionSlack;
     tx_grid_.for_each_candidate(
         tx.sender_pos, prune, [&](uint64_t other_id, Vec2 other_pos) {
           if (!within_range(tx.sender_pos, other_pos, prune)) return;
           auto it = active_.find(other_id);
-          it->second.collider_positions.push_back(tx.sender_pos);
-          tx.collider_positions.push_back(other_pos);
+          it->second.colliders.push_back(
+              {tx.sender_pos, tx.coverage_m, tx.range_m});
+          tx.colliders.push_back(
+              {other_pos, it->second.coverage_m, it->second.range_m});
         });
 
-    // Capture the exact in-range receiver set now (start == now).
+    // Capture the exact in-coverage receiver set now (start == now).
     // position_at is a pure function of t, so delivery reads the same
     // positions the reference recomputes at end time, in the same
     // ascending order.
-    for_each_in_range(tx.sender_pos, sender, [&](NodeId receiver, Vec2 rp) {
-      tx.receivers.push_back({receiver, rp});
-    });
+    for_each_in_range(tx.sender_pos, tx.coverage_m, sender,
+                      [&](NodeId receiver, Vec2 rp) {
+                        tx.receivers.push_back({receiver, rp});
+                      });
     std::sort(tx.receivers.begin(), tx.receivers.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
   }
@@ -192,32 +223,43 @@ void Medium::transmit(FramePtr frame, SendCompleteCallback on_complete) {
 
 bool Medium::busy_for(NodeId node) const {
   Vec2 p = position_of(node);
+  // Uniform radios: every active transmission has the same audibility
+  // radius, so the per-transmission lookup can be skipped.
+  const double uniform = channel_->coverage_m(params_.range_m);
   if (params_.brute_force) {
     for (const auto& [id, tx] : active_) {
-      if (within_range(p, tx.sender_pos, params_.range_m)) return true;
+      const double cov = hetero_ranges_ ? tx.coverage_m : uniform;
+      if (within_range(p, tx.sender_pos, cov)) return true;
     }
     return false;
   }
-  return tx_grid_.any_candidate(p, params_.range_m, [&](uint64_t, Vec2 pos) {
-    return within_range(p, pos, params_.range_m);
+  const double query = hetero_ranges_ ? max_coverage_m() : uniform;
+  return tx_grid_.any_candidate(p, query, [&](uint64_t id, Vec2 pos) {
+    const double cov =
+        hetero_ranges_ ? active_.find(id)->second.coverage_m : uniform;
+    return within_range(p, pos, cov);
   });
 }
 
 TimePoint Medium::busy_until(NodeId node) const {
   Vec2 p = position_of(node);
   TimePoint latest = sched_.now();
+  const double uniform = channel_->coverage_m(params_.range_m);
   if (params_.brute_force) {
     for (const auto& [id, tx] : active_) {
-      if (within_range(p, tx.sender_pos, params_.range_m) && tx.end > latest) {
+      const double cov = hetero_ranges_ ? tx.coverage_m : uniform;
+      if (within_range(p, tx.sender_pos, cov) && tx.end > latest) {
         latest = tx.end;
       }
     }
     return latest;
   }
-  tx_grid_.for_each_candidate(p, params_.range_m, [&](uint64_t id, Vec2 pos) {
-    if (!within_range(p, pos, params_.range_m)) return;
-    const TimePoint end = active_.find(id)->second.end;
-    if (end > latest) latest = end;
+  const double query = hetero_ranges_ ? max_coverage_m() : uniform;
+  tx_grid_.for_each_candidate(p, query, [&](uint64_t id, Vec2 pos) {
+    const ActiveTx& tx = active_.find(id)->second;
+    const double cov = hetero_ranges_ ? tx.coverage_m : uniform;
+    if (!within_range(p, pos, cov)) return;
+    if (tx.end > latest) latest = tx.end;
   });
   return latest;
 }
@@ -235,7 +277,7 @@ void Medium::deliver(uint64_t tx_id) {
     for (NodeId receiver = 0; receiver < nodes_.size(); ++receiver) {
       if (receiver == sender) continue;
       Vec2 rp = nodes_[receiver].mobility->position_at(tx.start);
-      if (!within_range(rp, tx.sender_pos, params_.range_m)) continue;
+      if (!within_range(rp, tx.sender_pos, tx.coverage_m)) continue;
       deliver_one(tx, receiver, rp, report);
     }
   } else {
@@ -253,15 +295,16 @@ void Medium::deliver_one(const ActiveTx& tx, NodeId receiver,
   ++report.receivers;
 
   // Collision: another overlapping transmission audible here corrupts
-  // the frame unless the sender is enough closer than the interferer
-  // for physical-layer capture.
+  // the frame unless the channel model's capture rule says our signal
+  // dominates that interferer. The survive decision is a fold of a pure
+  // per-interferer predicate, so collider order cannot matter.
   bool collided = false;
   const double own_dist = distance(receiver_pos, tx.sender_pos);
-  for (const Vec2& cp : tx.collider_positions) {
-    if (!within_range(receiver_pos, cp, params_.range_m)) continue;
-    double interferer_dist = distance(receiver_pos, cp);
-    if (params_.capture_ratio > 0.0 &&
-        own_dist <= params_.capture_ratio * interferer_dist) {
+  for (const Collider& c : tx.colliders) {
+    if (!within_range(receiver_pos, c.pos, c.coverage_m)) continue;
+    double interferer_dist = distance(receiver_pos, c.pos);
+    if (channel_->captured(own_dist, tx.range_m, interferer_dist,
+                           c.range_m)) {
       continue;  // captured: our signal dominates this interferer
     }
     collided = true;
@@ -272,7 +315,36 @@ void Medium::deliver_one(const ActiveTx& tx, NodeId receiver,
     ++report.collided;
     return;
   }
-  if (rng_.chance(params_.loss_rate)) {
+
+  // Reception: the deterministic reference draws from the medium's
+  // shared sequential stream in receiver order (bit-identical to the
+  // pre-channel-layer medium). Every other model gets two keyed streams:
+  // a per-frame one keyed by (link_seed, transmission, receiver), and a
+  // per-link one re-seeded identically for every frame between the same
+  // unordered node pair — what makes shadowing quasi-static per link.
+  // Keyed draws make outcomes independent of enumeration order and
+  // spatial indexing.
+  bool delivered;
+  if (channel_->deterministic_reference()) {
+    delivered = channel_->receives(own_dist, tx.range_m, params_.loss_rate,
+                                   rng_, rng_);
+  } else {
+    common::Rng frame_rng(common::derive_seed(
+        common::derive_seed(params_.channel.link_seed, tx.id), receiver));
+    const NodeId sender = tx.frame->sender;
+    const NodeId lo = sender < receiver ? sender : receiver;
+    const NodeId hi = sender < receiver ? receiver : sender;
+    // Distinct stream family for the per-link draws ("shad" tag), so a
+    // link stream can never collide with a frame stream.
+    common::Rng link_rng(common::derive_seed(
+        common::derive_seed(
+            common::derive_seed(params_.channel.link_seed, 0x73686164ULL),
+            lo),
+        hi));
+    delivered = channel_->receives(own_dist, tx.range_m, params_.loss_rate,
+                                   link_rng, frame_rng);
+  }
+  if (!delivered) {
     ++stats_.losses;
     ++report.lost;
     return;

@@ -1,26 +1,31 @@
-// Shared broadcast wireless medium.
-//
-// Models the parts of IEEE 802.11b ad-hoc mode the evaluation depends on:
-//   * range-based connectivity (paper sweeps WiFi range 20-100 m),
-//   * serialization delay at a configurable data rate (paper: 11 Mbps),
-//   * independent Bernoulli loss per receiver (paper: 10 %),
-//   * collisions: two transmissions whose intervals overlap corrupt each
-//     other at every receiver that is in range of both senders. This is
-//     the hidden-terminal/same-slot mechanism PEBA mitigates.
-//
-// The sender learns whether its frame collided anywhere via the completion
-// callback — an abstraction of detecting a collision through the absence
-// of the expected response (the paper's peers detect collisions and then
-// run PEBA). See DESIGN.md "Substitutions".
-//
-// Connectivity queries (delivery, neighbor sets, carrier sense, collision
-// marking) go through a uniform spatial hash grid (cell size = radio
-// range) rebuilt lazily against the mobility positions, so they touch
-// only the cells around a node instead of every node. The grid is a pure
-// candidate index — every candidate is re-checked with the exact
-// `within_range` predicate — so outcomes are *identical* to the retained
-// all-pairs reference (Params::brute_force), which the equivalence test
-// suite asserts. See DESIGN.md "Spatial medium".
+/// @file
+/// Shared broadcast wireless medium.
+///
+/// Models the parts of IEEE 802.11b ad-hoc mode the evaluation depends on:
+///   * connectivity and reception through a pluggable `ChannelModel`
+///     (unit-disk reference by default; log-distance path loss with
+///     shadowing, reception curve, SIR capture and preamble airtime as
+///     alternatives — see sim/channel.hpp),
+///   * serialization delay at a configurable data rate (paper: 11 Mbps),
+///   * independent Bernoulli loss per receiver (paper: 10 %),
+///   * collisions: two transmissions whose intervals overlap corrupt each
+///     other at every receiver that can hear both senders, unless the
+///     channel model's capture rule lets the stronger frame survive. This
+///     is the hidden-terminal/same-slot mechanism PEBA mitigates.
+///
+/// The sender learns whether its frame collided anywhere via the completion
+/// callback — an abstraction of detecting a collision through the absence
+/// of the expected response (the paper's peers detect collisions and then
+/// run PEBA). See DESIGN.md "Substitutions".
+///
+/// Connectivity queries (delivery, neighbor sets, carrier sense, collision
+/// marking) go through a uniform spatial hash grid rebuilt lazily against
+/// the mobility positions, so they touch only the cells around a node
+/// instead of every node. The grid is a pure candidate index — every
+/// candidate is re-checked with the exact distance predicate — so outcomes
+/// are *identical* to the retained all-pairs reference
+/// (Params::brute_force), which the equivalence test suites assert. See
+/// DESIGN.md "Spatial medium" and "Channel & PHY models".
 #pragma once
 
 #include <cstdint>
@@ -32,12 +37,15 @@
 #include "common/buffer.hpp"
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
+#include "sim/channel.hpp"
 #include "sim/mobility.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/spatial_grid.hpp"
 
 namespace dapes::sim {
 
+/// Index of a node registered with the medium (dense, assigned by
+/// `Medium::add_node` in registration order).
 using NodeId = uint32_t;
 
 /// One frame on the air. The payload is opaque to the medium.
@@ -47,49 +55,58 @@ using NodeId = uint32_t;
 /// into this shared buffer instead of copying (see DESIGN.md "Wire &
 /// buffer architecture").
 struct Frame {
+  /// Transmitting node.
   NodeId sender = 0;
+  /// Opaque wire bytes, shared by every receiver.
   common::BufferSlice payload;
   /// Upper-layer tag used only for statistics (e.g. "interest", "data",
   /// "hello"). Never interpreted by the medium.
   std::string kind;
 };
 
+/// Shared immutable frame handle (one allocation per broadcast).
 using FramePtr = std::shared_ptr<const Frame>;
 
 /// Aggregate medium statistics for one trial.
 struct MediumStats {
   uint64_t transmissions = 0;   ///< frames put on the air
   uint64_t deliveries = 0;      ///< successful (frame, receiver) pairs
-  uint64_t losses = 0;          ///< dropped by random loss
+  uint64_t losses = 0;          ///< dropped by the channel or random loss
   uint64_t collision_drops = 0; ///< dropped because of a collision
   uint64_t collided_frames = 0; ///< frames that collided at >=1 receiver
-  uint64_t bytes_sent = 0;
+  uint64_t bytes_sent = 0;      ///< payload + overhead bytes transmitted
 
   /// Per-kind transmission counts (protocol overhead breakdown).
   std::unordered_map<std::string, uint64_t> tx_by_kind;
 };
 
+/// The shared broadcast medium every node of a trial transmits on.
 class Medium {
  public:
+  /// Radio/channel configuration, fixed per trial (except `set_range`).
   struct Params {
+    /// Nominal radio range (paper sweeps WiFi range 20-100 m). Per-node
+    /// radios scale it via `set_node_range_factor` (hetero.radio).
     double range_m = 60.0;
-    double data_rate_bps = 11e6;       // paper: 802.11b, 11 Mbps
-    double loss_rate = 0.10;           // paper: 10 %
+    /// Channel bit rate (paper: 802.11b, 11 Mbps).
+    double data_rate_bps = 11e6;
+    /// Distance-independent Bernoulli loss per receiver (paper: 10 %).
+    double loss_rate = 0.10;
+    /// Fixed propagation delay added to every frame's airtime.
     Duration propagation = Duration::microseconds(1);
     /// Fixed per-frame overhead (preamble/MAC header), bytes.
     size_t frame_overhead_bytes = 34;
-    /// Physical-layer capture: a frame survives an overlap when its
-    /// sender is at most this fraction of the interferer's distance from
-    /// the receiver (power advantage ~1/ratio^2). Set to 0 to disable
-    /// capture (any overlap kills both frames).
-    double capture_ratio = 0.7;
+    /// Channel/PHY model (unit-disk reference by default) plus its
+    /// parameters, including the legacy capture ratio. See
+    /// sim/channel.hpp.
+    ChannelParams channel;
     /// Use the retained all-pairs reference implementation instead of
     /// the spatial grid. Outcomes are identical either way (the
-    /// equivalence tests assert it) as long as the node set and range
-    /// stay fixed while frames are in flight — see the set_range() and
-    /// DESIGN.md "Spatial medium" notes on those two pins. The
-    /// reference exists for the equivalence tests and for bench_scale's
-    /// speedup baseline.
+    /// equivalence tests assert it) as long as the node set, range and
+    /// range factors stay fixed while frames are in flight — see the
+    /// set_range() and DESIGN.md "Spatial medium" notes on those pins.
+    /// The reference exists for the equivalence tests and for
+    /// bench_scale's speedup baseline.
     bool brute_force = false;
   };
 
@@ -103,16 +120,21 @@ class Medium {
   struct TxReport {
     size_t receivers = 0;  ///< nodes in range at transmission time
     size_t collided = 0;   ///< receivers that saw a collision
-    size_t lost = 0;       ///< receivers that dropped it to random loss
+    size_t lost = 0;       ///< receivers that dropped it to channel loss
     size_t delivered = 0;  ///< receivers that got the frame
 
+    /// More than half of the in-range receivers saw a collision.
     bool mostly_collided() const {
       return receivers > 0 && collided * 2 > receivers;
     }
+    /// At least one receiver saw a collision.
     bool collided_anywhere() const { return collided > 0; }
   };
+  /// Invoked once when a transmission leaves the air.
   using SendCompleteCallback = std::function<void(const TxReport&)>;
 
+  /// Builds the channel model from `params.channel` (throws
+  /// std::invalid_argument on an unknown model name).
   Medium(Scheduler& sched, Params params, common::Rng rng);
 
   /// Register a node. The medium does not own the mobility model.
@@ -122,52 +144,89 @@ class Medium {
   void transmit(FramePtr frame, SendCompleteCallback on_complete = nullptr);
 
   /// Carrier sense: true if any in-flight transmission is audible at
-  /// @p node right now.
+  /// @p node right now (audible = within the channel model's coverage of
+  /// that transmission's sender).
   bool busy_for(NodeId node) const;
 
   /// Latest end time among transmissions audible at @p node (now() if idle).
   TimePoint busy_until(NodeId node) const;
 
-  /// Airtime of a frame of @p payload_bytes including overhead.
+  /// Airtime of a frame of @p payload_bytes including overhead, per the
+  /// channel model's bitrate/airtime rule.
   Duration frame_duration(size_t payload_bytes) const;
 
+  /// Current position of @p node.
   Vec2 position_of(NodeId node) const;
+  /// Nominal radio range of @p node (range_m x its range factor).
+  double range_of(NodeId node) const;
+  /// True when @p b is within @p a's nominal radio range right now.
+  /// Directional under mixed-range radios: in_range(a,b) uses a's range.
   bool in_range(NodeId a, NodeId b) const;
+  /// Nodes within @p node's nominal radio range, ascending id order.
+  /// "Neighbor" means the reliable neighborhood (the nominal range where
+  /// the unit-disk delivers and the log-distance curve is at 50 %), not
+  /// the wider audibility coverage interference uses.
   std::vector<NodeId> neighbors_of(NodeId node) const;
   /// Number of nodes in range of @p node (== neighbors_of(node).size(),
   /// without materializing the set) — the density query that
   /// density-adaptive logic and the scale.medium sweeps use on every
   /// tick.
   size_t degree_of(NodeId node) const;
+  /// Nodes registered so far.
   size_t node_count() const { return nodes_.size(); }
 
+  /// The trial's radio/channel configuration.
   const Params& params() const { return params_; }
+  /// The installed channel/PHY model.
+  const ChannelModel& channel() const { return *channel_; }
 
-  /// Change the radio range. In grid mode this re-indexes; it applies to
-  /// subsequent transmissions (frames already in flight keep the receiver
-  /// set captured at their start, matching their start-time range).
+  /// Change the nominal radio range. In grid mode this re-indexes; it
+  /// applies to subsequent transmissions (frames already in flight keep
+  /// the receiver set captured at their start, matching their start-time
+  /// range).
   void set_range(double range_m);
 
+  /// Scale one node's radio range to `range_m * factor` (> 0) —
+  /// mixed-range radios (hetero.radio). Call during setup, before
+  /// traffic: frames already in flight keep their start-time range.
+  void set_node_range_factor(NodeId node, double factor);
+
+  /// Aggregate statistics since construction.
   const MediumStats& stats() const { return stats_; }
+  /// Mutable statistics access (drivers reset per-phase counters).
   MediumStats& stats() { return stats_; }
 
  private:
   struct NodeEntry {
     MobilityModel* mobility = nullptr;
     ReceiveCallback on_receive;
+    /// Per-node multiplier on params_.range_m (hetero.radio).
+    double range_factor = 1.0;
+  };
+
+  /// One interferer of an in-flight transmission: enough state to decide
+  /// audibility (coverage) and capture (nominal range) at any receiver.
+  struct Collider {
+    Vec2 pos;
+    double coverage_m = 0.0;
+    double range_m = 0.0;
   };
 
   struct ActiveTx {
     uint64_t id = 0;
     FramePtr frame;
     Vec2 sender_pos;
+    /// Sender's nominal range at start time (capture rule input).
+    double range_m = 0.0;
+    /// Channel-model audibility cutoff at start time.
+    double coverage_m = 0.0;
     TimePoint start;
     TimePoint end;
-    /// Positions of senders whose transmissions overlapped this one.
-    std::vector<Vec2> collider_positions;
-    /// Grid mode: the exact in-range receiver set (id, position) captured
-    /// at start time — identical to what the reference recomputes at
-    /// delivery time because position_at is a pure function of t.
+    /// Transmissions that overlapped this one.
+    std::vector<Collider> colliders;
+    /// Grid mode: the exact in-coverage receiver set (id, position)
+    /// captured at start time — identical to what the reference recomputes
+    /// at delivery time because position_at is a pure function of t.
     std::vector<std::pair<NodeId, Vec2>> receivers;
     SendCompleteCallback on_complete;
   };
@@ -176,13 +235,19 @@ class Medium {
   void deliver_one(const ActiveTx& tx, NodeId receiver, Vec2 receiver_pos,
                    TxReport& report);
 
-  /// Visit every node (except @p exclude) within radio range of @p center
-  /// right now, as fn(id, position), in ascending id order in brute mode
-  /// and unspecified order in grid mode. The single home of the
-  /// "ensure grid, inflate by drift slack, re-check exactly" idiom that
-  /// neighbors_of, degree_of and the transmit receiver capture share.
+  /// Channel-model coverage of the largest radio in the trial: the upper
+  /// bound used for carrier-sense queries and collision pruning.
+  double max_coverage_m() const;
+
+  /// Visit every node (except @p exclude) within @p radius_m of
+  /// @p center right now, as fn(id, position), in ascending id order in
+  /// brute mode and unspecified order in grid mode. The single home of
+  /// the "ensure grid, inflate by drift slack, re-check exactly" idiom
+  /// that neighbors_of, degree_of and the transmit receiver capture
+  /// share.
   template <typename Fn>
-  void for_each_in_range(Vec2 center, NodeId exclude, Fn&& fn) const;
+  void for_each_in_range(Vec2 center, double radius_m, NodeId exclude,
+                         Fn&& fn) const;
 
   /// Rebuild the lazy node grid if the cell size changed or nodes may
   /// have drifted more than one cell since the last build; afterwards
@@ -193,8 +258,14 @@ class Medium {
 
   Scheduler& sched_;
   Params params_;
+  ChannelModelPtr channel_;
   common::Rng rng_;
   std::vector<NodeEntry> nodes_;
+  /// Largest range factor across nodes (1.0 until hetero radios appear).
+  double max_range_factor_ = 1.0;
+  /// True once any node's range factor differs from 1.0; enables the
+  /// per-transmission coverage lookups the uniform case can skip.
+  bool hetero_ranges_ = false;
   std::unordered_map<uint64_t, ActiveTx> active_;
   uint64_t next_tx_id_ = 1;
   MediumStats stats_;

@@ -1,11 +1,12 @@
-// Node mobility models.
-//
-// The paper's simulation uses 40 mobile nodes picking random directions in
-// [0, 2*pi) and random speeds in [2, 10] m/s inside a 300 m x 300 m field
-// (Fig. 7), plus 4 stationary repositories. The real-world scenarios of
-// Fig. 8 move peers along scripted paths; WaypointMobility reproduces
-// those. Positions are evaluated lazily from closed-form segment motion,
-// so mobility adds no scheduler events of its own.
+/// @file
+/// Node mobility models.
+///
+/// The paper's simulation uses 40 mobile nodes picking random directions in
+/// [0, 2*pi) and random speeds in [2, 10] m/s inside a 300 m x 300 m field
+/// (Fig. 7), plus 4 stationary repositories. The real-world scenarios of
+/// Fig. 8 move peers along scripted paths; WaypointMobility reproduces
+/// those. Positions are evaluated lazily from closed-form segment motion,
+/// so mobility adds no scheduler events of its own.
 #pragma once
 
 #include <limits>
@@ -29,6 +30,8 @@ using common::TimePoint;
 class MobilityModel {
  public:
   virtual ~MobilityModel() = default;
+
+  /// Position at simulated time @p t (pure in t; see class comment).
   virtual Vec2 position_at(TimePoint t) = 0;
 
   /// Conservative upper bound on the node's speed in m/s. The medium's
@@ -43,6 +46,7 @@ class MobilityModel {
 /// Fixed position (repositories / stationary nodes).
 class StationaryMobility final : public MobilityModel {
  public:
+  /// Pin the node at @p pos forever.
   explicit StationaryMobility(Vec2 pos) : pos_(pos) {}
   Vec2 position_at(TimePoint) override { return pos_; }
   double max_speed() const override { return 0.0; }
@@ -59,14 +63,16 @@ class StationaryMobility final : public MobilityModel {
 /// materialized on demand up to the queried time.
 class RandomDirectionMobility final : public MobilityModel {
  public:
+  /// Model parameters (defaults are the paper's Fig. 7 values).
   struct Params {
-    Field field{};
-    double speed_min = 2.0;   // m/s, paper value
-    double speed_max = 10.0;  // m/s, paper value
-    Duration leg_min = Duration::seconds(5.0);
-    Duration leg_max = Duration::seconds(20.0);
+    Field field{};            ///< field the node reflects inside
+    double speed_min = 2.0;   ///< m/s, paper value
+    double speed_max = 10.0;  ///< m/s, paper value
+    Duration leg_min = Duration::seconds(5.0);   ///< shortest leg
+    Duration leg_max = Duration::seconds(20.0);  ///< longest leg
   };
 
+  /// Start at @p start; every later leg is drawn from @p rng.
   RandomDirectionMobility(Vec2 start, Params params, common::Rng rng);
 
   Vec2 position_at(TimePoint t) override;
@@ -96,9 +102,10 @@ class RandomDirectionMobility final : public MobilityModel {
 /// scenario reproductions.
 class WaypointMobility final : public MobilityModel {
  public:
+  /// One scripted (time, position) pair.
   struct Waypoint {
-    TimePoint at;
-    Vec2 pos;
+    TimePoint at;  ///< when the node is at pos
+    Vec2 pos;      ///< where the node is at time `at`
   };
 
   /// Waypoints must be sorted by time and non-empty.
@@ -122,13 +129,15 @@ class WaypointMobility final : public MobilityModel {
 /// on demand, like RandomDirectionMobility.
 class RandomWaypointMobility final : public MobilityModel {
  public:
+  /// Model parameters.
   struct Params {
-    Field field{};
-    double speed_min = 2.0;   // m/s
-    double speed_max = 10.0;  // m/s
-    Duration pause = Duration::seconds(2.0);
+    Field field{};            ///< field destinations are drawn in
+    double speed_min = 2.0;   ///< m/s
+    double speed_max = 10.0;  ///< m/s
+    Duration pause = Duration::seconds(2.0);  ///< dwell at each target
   };
 
+  /// Start at @p start; every later leg is drawn from @p rng.
   RandomWaypointMobility(Vec2 start, Params params, common::Rng rng);
 
   Vec2 position_at(TimePoint t) override;
@@ -158,6 +167,7 @@ class RandomWaypointMobility final : public MobilityModel {
 /// faster than its anchor.
 class GroupMobility final : public MobilityModel {
  public:
+  /// Follow @p anchor at the fixed @p offset, clamped to @p field.
   GroupMobility(std::shared_ptr<MobilityModel> anchor, Vec2 offset,
                 Field field);
 

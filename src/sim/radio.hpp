@@ -1,11 +1,12 @@
-// Per-node radio with CSMA/CA-style deferral.
-//
-// Protocol layers hand frames to their node's Radio instead of the Medium
-// directly. The radio carrier-senses before transmitting and defers with a
-// small random backoff while the channel is audible, which is the 802.11
-// DCF behaviour the paper's peers run on. Collisions still occur for
-// same-slot starts and hidden terminals — exactly the residual collisions
-// DAPES mitigates at the application layer with random timers and PEBA.
+/// @file
+/// Per-node radio with CSMA/CA-style deferral.
+///
+/// Protocol layers hand frames to their node's Radio instead of the Medium
+/// directly. The radio carrier-senses before transmitting and defers with a
+/// small random backoff while the channel is audible, which is the 802.11
+/// DCF behaviour the paper's peers run on. Collisions still occur for
+/// same-slot starts and hidden terminals — exactly the residual collisions
+/// DAPES mitigates at the application layer with random timers and PEBA.
 #pragma once
 
 #include <deque>
@@ -17,32 +18,41 @@
 
 namespace dapes::sim {
 
+/// One node's CSMA/CA transmitter in front of the shared Medium.
 class Radio {
  public:
+  /// DCF timing/backoff parameters.
   struct Params {
     /// 802.11b-ish DCF slot time.
     Duration slot = Duration::microseconds(20);
     /// Inter-frame space waited after the channel goes idle.
     Duration ifs = Duration::microseconds(50);
-    /// Contention window (slots) used while deferring. 802.11b DCF uses
-    /// CWmin=31; we keep a power of two and a deep CWmax because scaled
-    /// frames occupy the air longer than real 802.11b frames.
+    /// Minimum contention window (slots) used while deferring. 802.11b
+    /// DCF uses CWmin=31; we keep a power of two and a deep CWmax
+    /// because scaled frames occupy the air longer than real 802.11b
+    /// frames.
     int cw_min = 32;
+    /// Contention-window cap reached after repeated busy-deferrals.
     int cw_max = 1024;
     /// Give up after this many busy-deferrals (frame dropped).
     int max_defers = 200;
   };
 
+  /// Re-exported Medium callback type (the radio forwards the TxReport).
   using SendCompleteCallback = Medium::SendCompleteCallback;
 
+  /// Radio with default Params.
   Radio(Scheduler& sched, Medium& medium, NodeId node, common::Rng rng);
+  /// Radio with explicit DCF parameters.
   Radio(Scheduler& sched, Medium& medium, NodeId node, common::Rng rng,
         Params params);
 
   /// Queue a frame for transmission. Frames leave in FIFO order.
   void send(FramePtr frame, SendCompleteCallback on_complete = nullptr);
 
+  /// The node this radio transmits as.
   NodeId node() const { return node_; }
+  /// Frames queued behind the current attempt.
   size_t queue_depth() const { return queue_.size(); }
 
   /// Frames dropped after exhausting max_defers.

@@ -1,10 +1,11 @@
-// Discrete-event scheduler.
-//
-// Single-threaded, deterministic: events at the same timestamp fire in
-// insertion order (a strictly increasing sequence number breaks ties), so
-// identical seeds give identical runs. Everything in the repository — the
-// wireless medium, NDN forwarders, DAPES peers, the IP baselines — runs on
-// one Scheduler instance per trial.
+/// @file
+/// Discrete-event scheduler.
+///
+/// Single-threaded, deterministic: events at the same timestamp fire in
+/// insertion order (a strictly increasing sequence number breaks ties), so
+/// identical seeds give identical runs. Everything in the repository — the
+/// wireless medium, NDN forwarders, DAPES peers, the IP baselines — runs on
+/// one Scheduler instance per trial.
 #pragma once
 
 #include <cstdint>
@@ -22,16 +23,22 @@ using common::TimePoint;
 
 /// Handle for cancelling a scheduled event.
 struct EventId {
+  /// Opaque event identity; 0 means "no event".
   uint64_t value = 0;
+  /// True when the handle refers to a real (scheduled) event.
   bool valid() const { return value != 0; }
 };
 
+/// The per-trial discrete-event loop (see the file comment for the
+/// determinism contract). Not copyable: exactly one instance per trial.
 class Scheduler {
  public:
+  /// An empty schedule at time zero.
   Scheduler() = default;
-  Scheduler(const Scheduler&) = delete;
-  Scheduler& operator=(const Scheduler&) = delete;
+  Scheduler(const Scheduler&) = delete;             ///< not copyable
+  Scheduler& operator=(const Scheduler&) = delete;  ///< not copyable
 
+  /// Current simulated time.
   TimePoint now() const { return now_; }
 
   /// Schedule @p fn to run at absolute time @p at (clamped to now()).

@@ -1,20 +1,21 @@
-// Uniform spatial indexes (cell size = radio range) so the wireless
-// medium can answer "who is near this point?" by visiting the handful of
-// cells a query disc overlaps instead of scanning every node. Both
-// structures are *candidate* indexes: callers always re-check candidates
-// with the exact `within_range` predicate, so pruning never changes
-// outcomes — it only skips pairs that provably cannot satisfy the
-// predicate (see DESIGN.md "Spatial medium").
-//
-// Two variants for the medium's two populations:
-//   * DenseCellGrid — rebuilt in bulk from all node positions; CSR layout
-//     over the positions' bounding box, so a cell probe is pure array
-//     arithmetic. This sits on the hottest path (per-tick density and
-//     neighbor queries).
-//   * SpatialHashGrid — incremental insert/erase keyed by packed cell
-//     coordinates in a hash map; used for the small, churning set of
-//     in-flight transmissions, where positions arrive one at a time and
-//     can lie anywhere.
+/// @file
+/// Uniform spatial indexes (cell size = radio range) so the wireless
+/// medium can answer "who is near this point?" by visiting the handful of
+/// cells a query disc overlaps instead of scanning every node. Both
+/// structures are *candidate* indexes: callers always re-check candidates
+/// with the exact `within_range` predicate, so pruning never changes
+/// outcomes — it only skips pairs that provably cannot satisfy the
+/// predicate (see DESIGN.md "Spatial medium").
+///
+/// Two variants for the medium's two populations:
+///   * DenseCellGrid — rebuilt in bulk from all node positions; CSR layout
+///     over the positions' bounding box, so a cell probe is pure array
+///     arithmetic. This sits on the hottest path (per-tick density and
+///     neighbor queries).
+///   * SpatialHashGrid — incremental insert/erase keyed by packed cell
+///     coordinates in a hash map; used for the small, churning set of
+///     in-flight transmissions, where positions arrive one at a time and
+///     can lie anywhere.
 #pragma once
 
 #include <algorithm>
@@ -28,6 +29,7 @@
 
 namespace dapes::sim {
 
+/// Bulk-rebuilt CSR cell grid over the node positions (see file comment).
 class DenseCellGrid {
  public:
   /// Entries indexed by position (entry id i = positions[i]). The cell
@@ -82,7 +84,9 @@ class DenseCellGrid {
     }
   }
 
+  /// Entries indexed at the last build().
   size_t size() const { return size_; }
+  /// Effective cell size after the bounded-memory enlargement.
   double cell_size() const { return cell_; }
 
   /// Visit every entry in the cells the disc (center, radius) overlaps.
@@ -124,12 +128,16 @@ class DenseCellGrid {
   std::vector<std::pair<uint32_t, Vec2>> entries_;   // (id, position)
 };
 
+/// Incremental hash-map cell grid for churning entry sets (see file
+/// comment).
 class SpatialHashGrid {
  public:
+  /// An empty grid with the given cell size (clamped to >= 1e-9).
   explicit SpatialHashGrid(double cell_size = 1.0) {
     set_cell_size(cell_size);
   }
 
+  /// Current cell size.
   double cell_size() const { return cell_; }
 
   /// Changing the cell size clears the grid; re-insert afterwards.
@@ -138,13 +146,16 @@ class SpatialHashGrid {
     clear();
   }
 
+  /// Drop every entry.
   void clear() {
     cells_.clear();
     size_ = 0;
   }
 
+  /// Entries currently stored.
   size_t size() const { return size_; }
 
+  /// Add an entry at @p pos (ids need not be unique across positions).
   void insert(uint64_t id, Vec2 pos) {
     cells_[key_of(pos)].push_back({id, pos});
     ++size_;

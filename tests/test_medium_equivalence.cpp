@@ -9,131 +9,19 @@
 // per-frame receiver sets and delivery order, TxReports, neighbor sets,
 // carrier-sense answers, and the aggregate MediumStats. Any divergence in
 // pruning, iteration order, or RNG draw order shows up as a log mismatch.
+//
+// The world construction is shared with the channel-layer suite
+// (tests/medium_test_world.hpp), whose golden-hash test additionally pins
+// these exact worlds to their pre-channel-layer behavior.
 #include <gtest/gtest.h>
 
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "common/rng.hpp"
-#include "sim/medium.hpp"
-#include "sim/mobility.hpp"
+#include "medium_test_world.hpp"
 
 namespace dapes::sim {
 namespace {
 
-struct World {
-  Scheduler sched;
-  std::vector<std::unique_ptr<MobilityModel>> mobility;
-  std::vector<std::shared_ptr<MobilityModel>> anchors;
-  std::unique_ptr<Medium> medium;
-  /// Chronological observation log: deliveries, completion reports and
-  /// query answers, formatted so two worlds can be diffed verbatim.
-  std::vector<std::string> log;
-};
-
-/// Deterministic world construction: every random choice comes from
-/// `seed`, and the brute flag is the only difference between the pair.
-void build_world(World& w, uint64_t seed, bool brute) {
-  common::Rng cfg(seed);  // consumed identically by both worlds
-
-  Medium::Params mp;
-  mp.range_m = cfg.uniform(15.0, 90.0);
-  mp.loss_rate = std::vector<double>{0.0, 0.1, 0.5}[cfg.next_below(3)];
-  mp.capture_ratio = cfg.chance(0.5) ? 0.7 : 0.0;
-  mp.brute_force = brute;
-  const double field_m = cfg.uniform(80.0, 400.0);
-  const Field field{field_m, field_m};
-  const size_t n = 5 + cfg.next_below(40);
-
-  w.medium = std::make_unique<Medium>(w.sched, mp,
-                                      common::Rng(common::derive_seed(seed, 1)));
-
-  for (size_t i = 0; i < n; ++i) {
-    const Vec2 start{cfg.uniform(0.0, field_m), cfg.uniform(0.0, field_m)};
-    common::Rng node_rng(common::derive_seed(seed, 100 + i));
-    switch (cfg.next_below(4)) {
-      case 0:
-        w.mobility.push_back(std::make_unique<StationaryMobility>(start));
-        break;
-      case 1: {
-        RandomDirectionMobility::Params p;
-        p.field = field;
-        w.mobility.push_back(
-            std::make_unique<RandomDirectionMobility>(start, p, node_rng));
-        break;
-      }
-      case 2: {
-        RandomWaypointMobility::Params p;
-        p.field = field;
-        p.pause = Duration::seconds(cfg.uniform(0.0, 5.0));
-        w.mobility.push_back(
-            std::make_unique<RandomWaypointMobility>(start, p, node_rng));
-        break;
-      }
-      default: {
-        if (w.anchors.empty() || cfg.chance(0.6)) {
-          RandomWaypointMobility::Params p;
-          p.field = field;
-          w.anchors.push_back(std::make_shared<RandomWaypointMobility>(
-              start, p,
-              common::Rng(common::derive_seed(seed, 5000 + w.anchors.size()))));
-        }
-        const Vec2 offset{cfg.uniform(-30.0, 30.0), cfg.uniform(-30.0, 30.0)};
-        w.mobility.push_back(std::make_unique<GroupMobility>(
-            w.anchors.back(), offset, field));
-        break;
-      }
-    }
-    w.medium->add_node(w.mobility.back().get(),
-                       [&w, i](const FramePtr& f, NodeId receiver) {
-                         w.log.push_back(
-                             "rx t=" + std::to_string(w.sched.now().us) +
-                             " from=" + std::to_string(f->sender) + " at=" +
-                             std::to_string(receiver));
-                       });
-  }
-
-  // Scripted traffic: bursts of transmissions, many deliberately
-  // overlapping (several frames inside the same microsecond-scale
-  // window) so collision marking and capture get exercised.
-  const int transmissions = 80;
-  for (int t = 0; t < transmissions; ++t) {
-    const int64_t at_us = static_cast<int64_t>(cfg.next_below(20'000'000));
-    const NodeId sender = static_cast<NodeId>(cfg.next_below(n));
-    const size_t size = 50 + cfg.next_below(1500);
-    w.sched.schedule_at(TimePoint{at_us}, [&w, sender, size, t] {
-      auto f = std::make_shared<Frame>();
-      f->sender = sender;
-      f->payload = common::Bytes(size, static_cast<uint8_t>(t));
-      f->kind = "eq";
-      w.medium->transmit(f, [&w, t](const Medium::TxReport& r) {
-        w.log.push_back("report tx=" + std::to_string(t) +
-                        " rcv=" + std::to_string(r.receivers) +
-                        " col=" + std::to_string(r.collided) +
-                        " lost=" + std::to_string(r.lost) +
-                        " del=" + std::to_string(r.delivered));
-      });
-    });
-  }
-
-  // Interleaved connectivity and carrier-sense queries.
-  const int queries = 120;
-  for (int q = 0; q < queries; ++q) {
-    const int64_t at_us = static_cast<int64_t>(cfg.next_below(20'000'000));
-    const NodeId node = static_cast<NodeId>(cfg.next_below(n));
-    w.sched.schedule_at(TimePoint{at_us}, [&w, node] {
-      std::string line = "nbr node=" + std::to_string(node) + " [";
-      for (NodeId id : w.medium->neighbors_of(node)) {
-        line += std::to_string(id) + ",";
-      }
-      line += "] deg=" + std::to_string(w.medium->degree_of(node)) +
-              " busy=" + std::to_string(w.medium->busy_for(node)) +
-              " until=" + std::to_string(w.medium->busy_until(node).us);
-      w.log.push_back(line);
-    });
-  }
-}
+using testworld::World;
+using testworld::build_world;
 
 class MediumEquivalence : public ::testing::TestWithParam<uint64_t> {};
 

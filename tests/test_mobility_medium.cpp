@@ -282,7 +282,7 @@ TEST_F(MediumTest, FullLossDropsEverything) {
 
 TEST_F(MediumTest, OverlappingTransmissionsCollide) {
   auto p = params();
-  p.capture_ratio = 0.0;  // disable capture: any overlap kills
+  p.channel.capture_ratio = 0.0;  // disable capture: any overlap kills
   Medium medium(sched, p, common::Rng(1));
   StationaryMobility pos_b{{20, 0}};
   StationaryMobility pos_r{{10, 0}};
@@ -302,7 +302,7 @@ TEST_F(MediumTest, OverlappingTransmissionsCollide) {
 
 TEST_F(MediumTest, CaptureLetsCloserSenderWin) {
   auto p = params();
-  p.capture_ratio = 0.7;
+  p.channel.capture_ratio = 0.7;
   Medium medium(sched, p, common::Rng(1));
   StationaryMobility pos_far{{45, 0}};  // interferer much farther away
   StationaryMobility pos_r{{5, 0}};     // receiver next to A
