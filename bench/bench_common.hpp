@@ -7,6 +7,12 @@
 //   --seed S             base RNG seed
 //   --jobs N             worker threads for the trial fan-out (default: all
 //                        hardware threads; results are identical for any N)
+//   --trial-threads N    lanes for the phase-parallel engine *inside* each
+//                        trial (default 0 = plain serial event loop;
+//                        deterministic metrics identical for any N, and
+//                        the knob composes with --jobs)
+//   --no-wall            omit wall-clock metrics from the output, leaving
+//                        only deterministic ones (for byte-for-byte diffs)
 //   --format text|csv|json   output format (default text)
 //   --out FILE           write output to FILE instead of stdout
 //
@@ -38,15 +44,19 @@ struct BenchArgs {
   bool quick = false;
   bool paper_scale = false;
   uint64_t seed = 1;
-  int jobs = 0;  // 0 = all hardware threads
+  int jobs = 0;           // 0 = all hardware threads
+  int trial_threads = 0;  // 0 = serial trial interior
+  bool no_wall = false;   // drop wall-clock metrics (determinism diffs)
   harness::OutputFormat format = harness::OutputFormat::kText;
   std::string out;  // empty = stdout
 
   static void usage(const char* prog, std::FILE* to) {
     std::fprintf(to,
                  "usage: %s [--trials N] [--quick] [--paper-scale] [--seed S]\n"
-                 "       %*s [--jobs N] [--format text|csv|json] [--out FILE]\n",
-                 prog, static_cast<int>(std::strlen(prog)), "");
+                 "       %*s [--jobs N] [--trial-threads N] [--no-wall]\n"
+                 "       %*s [--format text|csv|json] [--out FILE]\n",
+                 prog, static_cast<int>(std::strlen(prog)), "",
+                 static_cast<int>(std::strlen(prog)), "");
   }
 
   [[noreturn]] static void die(const char* prog, const std::string& message) {
@@ -106,6 +116,11 @@ struct BenchArgs {
       } else if (flag == "--jobs") {
         args.jobs = static_cast<int>(
             parse_int("--jobs", value_of("--jobs", inline_value), 1));
+      } else if (flag == "--trial-threads") {
+        args.trial_threads = static_cast<int>(parse_int(
+            "--trial-threads", value_of("--trial-threads", inline_value), 0));
+      } else if (flag == "--no-wall") {
+        args.no_wall = true;
       } else if (flag == "--format") {
         std::string v = value_of("--format", inline_value);
         auto f = harness::parse_output_format(v);
@@ -127,6 +142,7 @@ struct BenchArgs {
   harness::ScenarioParams scenario() const {
     harness::ScenarioParams p;
     p.seed = seed;
+    p.trial_threads = trial_threads;
     if (paper_scale) {
       p.file_size_bytes = 1024 * 1024;
       p.data_rate_bps = 11e6;

@@ -1,4 +1,4 @@
-// Scale bench: the scale.* scenario families swept 44 -> 1000 nodes at
+// Scale bench: the scale.* scenario families swept 44 -> 10000 nodes at
 // constant node density (field side grows with sqrt(n); Fig. 7 population
 // proportions throughout — see src/harness/scale.hpp).
 //
@@ -10,20 +10,33 @@
 // `medium+*` pair) must agree on every deterministic metric, differing
 // only in `trial_wall_s`.
 //
-// Two series groups:
-//   dapes+*  — the full DAPES stack (scale.field). Protocol work
-//              (PIT/CS lookups, crypto) dominates its trial time, so the
-//              grid shows up as a modest win here.
-//   medium+* — the medium-bound stress family (scale.medium): broadcast
-//              beacons + 20 Hz neighborhood-density sweeps, no NDN
-//              stack. This
-//              isolates what the spatial grid replaced; the brute-force
-//              O(n^2) blowup (and the >=5x grid speedup from ~500 nodes)
-//              is measured on this pair.
+// Three series groups:
+//   dapes+*      — the full DAPES stack (scale.field). Protocol work
+//                  (PIT/CS lookups, crypto) dominates its trial time, so
+//                  the grid shows up as a modest win here.
+//   dapes+par+*  — the same stack under the phase-parallel trial interior
+//                  (ScenarioParams::trial_threads = 1/2/4). Deterministic
+//                  metrics must match the serial dapes+grid+waypoint
+//                  series bit-for-bit; trial_wall_s is the threads axis.
+//   medium+*     — the medium-bound stress family (scale.medium):
+//                  broadcast beacons + 20 Hz neighborhood-density sweeps,
+//                  no NDN stack. This isolates what the spatial grid
+//                  replaced; the brute-force O(n^2) blowup (and the >=5x
+//                  grid speedup from ~500 nodes) is measured on this pair.
+//
+// Not every series runs at every x. The 10k point is single-trial, runs
+// on a reduced sim horizon, and only for the two cheap grid series; the
+// threads series only run where the parallel interior has enough
+// same-instant work to matter (>= 500 nodes). Skipped cells are written
+// as 0.0 and each skip is logged to stderr, so a 0.0 in the output is
+// always accounted for rather than a silent truncation.
 //
 // BENCH_scale.json is the committed baseline (`--trials 1 --jobs 1
 // --format json`); absolute wall timings are machine-dependent, the
-// tracked quantity is the medium+brute : medium+grid ratio.
+// tracked quantities are the medium+brute : medium+grid ratio and the
+// dapes+par t1 : tN ratios. `--no-wall` drops trial_wall_s for
+// byte-for-byte determinism diffs (CI compares --trial-threads 1 vs 4).
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -39,9 +52,22 @@ using namespace dapes;
 
 namespace {
 
+constexpr double kBigN = 10000;
+// The 10k single-trial point runs on a shortened horizon: at Fig. 7
+// density a 180 s horizon costs hours of wall clock on one core, and the
+// per-event cost the point measures is stable well before 60 s.
+constexpr double kBigNLimitS = 60.0;
+
 struct SeriesDef {
   const char* label;
   const char* driver;
+  // Largest node count this series runs at; cells above it are skipped
+  // (0.0 in the output, logged to stderr).
+  double max_nodes;
+  // Smallest node count (full mode only): the threads series are noise
+  // below ~500 nodes, where a trial has too few same-instant deliveries
+  // for the phase engine to batch.
+  double min_nodes_full;
   std::function<void(harness::ScenarioParams&)> configure;
 };
 
@@ -56,40 +82,55 @@ int main(int argc, char** argv) {
   base.sim_limit_s = args.quick ? 60.0 : 180.0;
   const double stress_limit_s = args.quick ? 10.0 : 30.0;
 
-  const std::vector<double> xs = args.quick
-                                     ? std::vector<double>{44, 120}
-                                     : std::vector<double>{44, 100, 200, 500,
-                                                           1000};
+  const std::vector<double> xs =
+      args.quick ? std::vector<double>{44, 120}
+                 : std::vector<double>{44, 100, 200, 500, 1000, kBigN};
+
+  auto threads_series = [](const char* label, int lanes) {
+    return SeriesDef{label, harness::ProtocolNames::kScaleField, 1000, 500,
+                     [lanes](harness::ScenarioParams& p) {
+                       p.mobility = harness::MobilityKind::kRandomWaypoint;
+                       p.trial_threads = lanes;
+                     }};
+  };
 
   const std::vector<SeriesDef> series = {
-      {"dapes+grid+waypoint", harness::ProtocolNames::kScaleField,
+      {"dapes+grid+waypoint", harness::ProtocolNames::kScaleField, kBigN, 0,
        [](harness::ScenarioParams& p) {
          p.mobility = harness::MobilityKind::kRandomWaypoint;
        }},
-      {"dapes+grid+group", harness::ProtocolNames::kScaleField,
+      {"dapes+grid+group", harness::ProtocolNames::kScaleField, 1000, 0,
        [](harness::ScenarioParams& p) {
          p.mobility = harness::MobilityKind::kGroup;
        }},
-      {"dapes+brute+waypoint", harness::ProtocolNames::kScaleField,
+      {"dapes+brute+waypoint", harness::ProtocolNames::kScaleField, 1000, 0,
        [](harness::ScenarioParams& p) {
          p.mobility = harness::MobilityKind::kRandomWaypoint;
          p.brute_force_medium = true;
+         p.trial_threads = 0;  // the serial reference ignores the global knob
        }},
-      {"medium+grid", harness::ProtocolNames::kScaleMedium,
+      threads_series("dapes+par+waypoint+t1", 1),
+      threads_series("dapes+par+waypoint+t2", 2),
+      threads_series("dapes+par+waypoint+t4", 4),
+      {"medium+grid", harness::ProtocolNames::kScaleMedium, kBigN, 0,
        [stress_limit_s](harness::ScenarioParams& p) {
          p.mobility = harness::MobilityKind::kRandomWaypoint;
          p.sim_limit_s = stress_limit_s;
        }},
-      {"medium+brute", harness::ProtocolNames::kScaleMedium,
+      {"medium+brute", harness::ProtocolNames::kScaleMedium, 1000, 0,
        [stress_limit_s](harness::ScenarioParams& p) {
          p.mobility = harness::MobilityKind::kRandomWaypoint;
          p.sim_limit_s = stress_limit_s;
          p.brute_force_medium = true;
+         p.trial_threads = 0;  // the serial reference ignores the global knob
        }},
   };
-  const std::vector<harness::SweepMetric> metrics = {
-      harness::trial_wall_metric(), harness::download_time_metric(),
-      harness::transmissions_k_metric(), harness::completion_metric()};
+
+  std::vector<harness::SweepMetric> metrics;
+  if (!args.no_wall) metrics.push_back(harness::trial_wall_metric());
+  metrics.push_back(harness::download_time_metric());
+  metrics.push_back(harness::transmissions_k_metric());
+  metrics.push_back(harness::completion_metric());
 
   // Open the sink first: a bad --out path should fail before the sweep
   // burns minutes of trials (same contract as BenchArgs::run).
@@ -103,6 +144,17 @@ int main(int argc, char** argv) {
   }
 
   const size_t trials = static_cast<size_t>(args.trials);
+  auto series_runs = [&](size_t si, size_t xi) {
+    const double n = xs[xi];
+    if (n > series[si].max_nodes) return false;
+    if (!args.quick && n < series[si].min_nodes_full) return false;
+    return true;
+  };
+  // The 10k point is a single-trial baseline regardless of --trials.
+  auto cell_trials = [&](size_t xi) -> size_t {
+    return xs[xi] >= kBigN ? 1 : trials;
+  };
+
   const size_t n_cells = series.size() * xs.size();
   std::vector<std::vector<harness::TrialResult>> raw(
       n_cells, std::vector<harness::TrialResult>(trials));
@@ -113,12 +165,14 @@ int main(int argc, char** argv) {
     const size_t trial = task % trials;
     const size_t si = cell / xs.size();
     const size_t xi = cell % xs.size();
+    if (!series_runs(si, xi) || trial >= cell_trials(xi)) return;
 
     harness::ScenarioParams p = base;
     harness::apply_scale(p, xs[xi]);
     series[si].configure(p);
-    // Seed by (x, trial) only — shared across series, so grid and brute
-    // cells run identical workloads.
+    if (xs[xi] >= kBigN) p.sim_limit_s = std::min(p.sim_limit_s, kBigNLimitS);
+    // Seed by (x, trial) only — shared across series, so grid/brute and
+    // serial/parallel cells run identical workloads.
     p.seed = common::derive_seed(common::derive_seed(args.seed, xi), trial);
     raw[cell][trial] = harness::run_trial(series[si].driver, p);
   });
@@ -136,10 +190,30 @@ int main(int argc, char** argv) {
     for (size_t si = 0; si < series.size(); ++si) {
       result.values[m][si].resize(xs.size());
       for (size_t xi = 0; xi < xs.size(); ++xi) {
+        if (!series_runs(si, xi)) {
+          result.values[m][si][xi] = 0.0;
+          if (m == 0) {
+            std::fprintf(stderr,
+                         "bench_scale: skipping %s at %g nodes "
+                         "(series runs %g..%g); cell written as 0.0\n",
+                         series[si].label,
+                         xs[xi], args.quick ? 0.0 : series[si].min_nodes_full,
+                         series[si].max_nodes);
+          }
+          continue;
+        }
+        const size_t take = cell_trials(xi);
         std::vector<double> samples;
-        samples.reserve(trials);
-        for (const auto& t : raw[si * xs.size() + xi]) {
-          samples.push_back(metrics[m].value(t));
+        samples.reserve(take);
+        const auto& cell = raw[si * xs.size() + xi];
+        for (size_t t = 0; t < take; ++t) {
+          samples.push_back(metrics[m].value(cell[t]));
+        }
+        if (m == 0 && take < trials) {
+          std::fprintf(stderr,
+                       "bench_scale: %s at %g nodes ran %zu/%zu trials "
+                       "(single-trial 10k point, sim horizon <= %g s)\n",
+                       series[si].label, xs[xi], take, trials, kBigNLimitS);
         }
         result.values[m][si][xi] =
             harness::aggregate_metric(metrics[m], std::move(samples));

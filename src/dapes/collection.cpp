@@ -13,6 +13,19 @@ size_t packets_for(size_t file_bytes, size_t packet_size) {
   return (file_bytes + packet_size - 1) / packet_size;
 }
 
+// The metadata segments are shared by reference across every node that
+// holds the collection, and both the wire encoding and the name's prefix
+// hashes are lazily cached `mutable` state. Fill those caches once at
+// creation, while the collection is still single-owner: afterwards the
+// shared objects are read-only, so the parallel trial interior can serve
+// them from concurrent per-node chains without a data race.
+void warm_packet_caches(std::vector<ndn::Data>& packets) {
+  for (const ndn::Data& segment : packets) {
+    segment.wire();
+    segment.name().hash();
+  }
+}
+
 }  // namespace
 
 common::Bytes Collection::synthetic_payload(const Name& packet_name,
@@ -85,6 +98,7 @@ std::shared_ptr<Collection> Collection::create(
                             std::move(enriched));
   col->metadata_packets_ =
       col->metadata_.to_packets(producer_key, kMetadataSegmentSize);
+  warm_packet_caches(col->metadata_packets_);
   return col;
 }
 
@@ -138,6 +152,7 @@ std::shared_ptr<Collection> Collection::create_synthetic(
                             std::move(enriched));
   col->metadata_packets_ =
       col->metadata_.to_packets(producer_key, kMetadataSegmentSize);
+  warm_packet_caches(col->metadata_packets_);
   return col;
 }
 

@@ -87,6 +87,14 @@ struct ScenarioParams {
   /// Run the medium's retained all-pairs reference instead of the
   /// spatial grid (equivalence tests, bench_scale's speedup baseline).
   bool brute_force_medium = false;
+  /// Lanes for the medium's phase-parallel delivery engine inside this
+  /// trial (`--trial-threads`). 0 (default) keeps the plain serial event
+  /// loop; >= 1 enables the engine. Deterministic metrics are
+  /// bit-identical for every value, so it composes freely with the
+  /// TrialRunner's `--jobs` fan-out (total threads ~= jobs x
+  /// trial_threads; see EXPERIMENTS.md). Requires the grid medium
+  /// (incompatible with brute_force_medium).
+  int trial_threads = 0;
 };
 
 /// Outcome of one simulated trial.

@@ -22,6 +22,7 @@ Topology::Topology(const ScenarioParams& params, uint64_t seed,
   mp.data_rate_bps = params.data_rate_bps;
   mp.loss_rate = params.loss_rate;
   mp.brute_force = params.brute_force_medium;
+  mp.trial_threads = params.trial_threads;
   mp.channel = params.channel;
   if (mp.channel.link_seed == 0) {
     // Per-trial stream base for the keyed per-link reception draws of the

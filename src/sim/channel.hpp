@@ -104,6 +104,17 @@ class ChannelModel {
   /// count.
   virtual Duration airtime(size_t on_air_bytes, double data_rate_bps) const = 0;
 
+  /// Lower bound on the airtime of *any* frame: the airtime of an empty
+  /// payload (just @p overhead_bytes of preamble/MAC framing). Because
+  /// `airtime` is strictly increasing in the byte count this bounds every
+  /// possible transmission, so `min_airtime + propagation` is a
+  /// conservative lookahead: no transmission started at or after time t
+  /// can deliver before t + that bound. The medium caches it at
+  /// model-install time (see `Medium::min_lookahead`).
+  Duration min_airtime(size_t overhead_bytes, double data_rate_bps) const {
+    return airtime(overhead_bytes, data_rate_bps);
+  }
+
   /// Probability that a frame from a transmitter of nominal range
   /// @p tx_range_m is decodable at @p distance_m, before collisions,
   /// shadowing and the medium's independent loss rate. Deterministic and

@@ -1,7 +1,10 @@
 #include "sim/medium.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace dapes::sim {
 
@@ -25,6 +28,32 @@ Medium::Medium(Scheduler& sched, Params params, common::Rng rng)
       channel_(make_channel_model(params.channel)),
       rng_(rng) {
   tx_grid_.set_cell_size(cell_for(params_.range_m));
+  // Cache the conservative lookahead once per model install: the airtime
+  // floor and propagation are fixed for the trial, so recomputing them
+  // per transmission would be pure waste.
+  min_lookahead_ =
+      channel_->min_airtime(params_.frame_overhead_bytes,
+                            params_.data_rate_bps) +
+      params_.propagation;
+  if (params_.trial_threads >= 1) {
+    if (params_.brute_force) {
+      throw std::invalid_argument(
+          "Medium: trial_threads requires grid mode (brute_force delivery "
+          "recomputes receiver sets lazily and stays serial)");
+    }
+    executor_ = std::make_unique<ParallelExecutor>(params_.trial_threads);
+    // Enforce, not just document, that the parallel path never consumes
+    // the medium's shared sequential stream during concurrent fan-out.
+    rng_.set_draw_guard(&fanout_active_);
+  }
+}
+
+void Medium::check_not_in_phase(const char* what) const {
+  if (fanout_active_.load(std::memory_order_relaxed)) {
+    throw std::logic_error(std::string("Medium::") + what +
+                           ": medium access during a fan-out phase "
+                           "(receive-path code must stay node-local)");
+  }
 }
 
 NodeId Medium::add_node(MobilityModel* mobility, ReceiveCallback on_receive) {
@@ -54,6 +83,8 @@ Duration Medium::frame_duration(size_t payload_bytes) const {
 }
 
 Vec2 Medium::position_of(NodeId node) const {
+  // Mobility models materialize legs lazily, so even this read mutates.
+  check_not_in_phase("position_of");
   return nodes_.at(node).mobility->position_at(sched_.now());
 }
 
@@ -156,6 +187,7 @@ size_t Medium::degree_of(NodeId node) const {
 }
 
 void Medium::transmit(FramePtr frame, SendCompleteCallback on_complete) {
+  check_not_in_phase("transmit");
   if (!frame) {
     throw std::invalid_argument("Medium::transmit: null frame");
   }
@@ -218,10 +250,17 @@ void Medium::transmit(FramePtr frame, SendCompleteCallback on_complete) {
   const Vec2 sender_pos = tx.sender_pos;
   active_.emplace(id, std::move(tx));
   if (!params_.brute_force) tx_grid_.insert(id, sender_pos);
-  sched_.schedule_at(end, [this, id] { deliver(id); });
+  if (executor_) {
+    // Tag with the transmission id so a same-instant predecessor's
+    // deliver_batch can claim this delivery into its batch.
+    sched_.schedule_tagged(end, id, [this, id] { deliver_batch(id); });
+  } else {
+    sched_.schedule_at(end, [this, id] { deliver(id); });
+  }
 }
 
 bool Medium::busy_for(NodeId node) const {
+  check_not_in_phase("busy_for");
   Vec2 p = position_of(node);
   // Uniform radios: every active transmission has the same audibility
   // radius, so the per-transmission lookup can be skipped.
@@ -242,6 +281,7 @@ bool Medium::busy_for(NodeId node) const {
 }
 
 TimePoint Medium::busy_until(NodeId node) const {
+  check_not_in_phase("busy_until");
   Vec2 p = position_of(node);
   TimePoint latest = sched_.now();
   const double uniform = channel_->coverage_m(params_.range_m);
@@ -290,8 +330,120 @@ void Medium::deliver(uint64_t tx_id) {
   if (tx.on_complete) tx.on_complete(report);
 }
 
+void Medium::deliver_batch(uint64_t first_id) {
+  // Batch-claim every delivery landing on this exact instant: such
+  // deliveries sit contiguously at the heap head in insertion order (any
+  // event the batch itself schedules gets a later sequence number, and no
+  // transmission it triggers can deliver before now + min_lookahead()),
+  // so claiming the tagged run reproduces the serial execution order
+  // exactly. One call — one "lock acquisition" worth of heap traffic.
+  claim_buf_.clear();
+  claim_buf_.push_back(first_id);
+  sched_.claim_tagged(sched_.now(), claim_buf_);
+
+  // Decide every outcome serially, in canonical order: transmissions in
+  // claim (= insertion) order, receivers in ascending id within each.
+  // This keeps the unit-disk reference's shared-stream draws, the stats
+  // and every TxReport bit-identical to the serial path. The deferred
+  // work — one item per protocol callback — is recorded in that same
+  // order.
+  struct Item {
+    NodeId node = 0;
+    std::function<void()> run;
+  };
+  std::vector<Item> items;
+  for (uint64_t id : claim_buf_) {
+    auto it = active_.find(id);
+    if (it == active_.end()) continue;
+    ActiveTx tx = std::move(it->second);
+    active_.erase(it);
+    tx_grid_.erase(tx.id, tx.sender_pos);
+
+    TxReport report;
+    for (const auto& [receiver, rp] : tx.receivers) {
+      if (decide_one(tx, receiver, rp, report) &&
+          nodes_[receiver].on_receive) {
+        const NodeId r = receiver;
+        const FramePtr frame = tx.frame;
+        items.push_back(
+            {r, [this, frame, r] { nodes_[r].on_receive(frame, r); }});
+      }
+    }
+    if (report.collided_anywhere()) ++stats_.collided_frames;
+    if (tx.on_complete) {
+      items.push_back({tx.frame->sender,
+                       [cb = std::move(tx.on_complete), report] {
+                         cb(report);
+                       }});
+    }
+  }
+  if (items.empty()) return;
+
+  // Group the items into per-node chains — protocol state is node-local
+  // and unlocked, so one node's items must run in order on one lane —
+  // and sort the chains by the node's spatial grid cell, so one worker's
+  // consecutive chains touch neighboring nodes' state (the region
+  // partitioning; placement affects locality only, never results).
+  struct Chain {
+    uint64_t region = 0;
+    NodeId node = 0;
+    std::vector<uint32_t> items;
+  };
+  std::vector<Chain> chains;
+  std::unordered_map<NodeId, size_t> chain_of;
+  for (size_t i = 0; i < items.size(); ++i) {
+    auto [pos, fresh] = chain_of.try_emplace(items[i].node, chains.size());
+    if (fresh) chains.push_back(Chain{0, items[i].node, {}});
+    chains[pos->second].items.push_back(static_cast<uint32_t>(i));
+  }
+  const double cell = cell_for(params_.range_m);
+  for (Chain& c : chains) {
+    const Vec2 p = position_of(c.node);
+    const auto cx = static_cast<int64_t>(std::floor(p.x / cell));
+    const auto cy = static_cast<int64_t>(std::floor(p.y / cell));
+    c.region = (static_cast<uint64_t>(cx) << 32) ^
+               static_cast<uint64_t>(static_cast<uint32_t>(cy));
+  }
+  std::sort(chains.begin(), chains.end(),
+            [](const Chain& a, const Chain& b) {
+              if (a.region != b.region) return a.region < b.region;
+              return a.node < b.node;
+            });
+
+  // Fan out. Every scheduler effect of an item is staged in its slot
+  // mailbox; end_phase merges them in item order, which makes the heap —
+  // sequence numbers included — bit-identical to serial execution for
+  // any lane count. The armed guards turn a stray medium access or
+  // shared-stream draw inside the phase into an exception.
+  sched_.begin_phase(items.size());
+  fanout_active_.store(true, std::memory_order_relaxed);
+  try {
+    executor_->run(chains.size(), [&](size_t ci) {
+      for (uint32_t slot : chains[ci].items) {
+        sched_.bind_phase_slot(slot);
+        items[slot].run();
+      }
+      sched_.unbind_phase_slot();
+    });
+  } catch (...) {
+    fanout_active_.store(false, std::memory_order_relaxed);
+    sched_.end_phase();
+    throw;
+  }
+  fanout_active_.store(false, std::memory_order_relaxed);
+  sched_.end_phase();
+}
+
 void Medium::deliver_one(const ActiveTx& tx, NodeId receiver,
                          Vec2 receiver_pos, TxReport& report) {
+  if (decide_one(tx, receiver, receiver_pos, report) &&
+      nodes_[receiver].on_receive) {
+    nodes_[receiver].on_receive(tx.frame, receiver);
+  }
+}
+
+bool Medium::decide_one(const ActiveTx& tx, NodeId receiver,
+                        Vec2 receiver_pos, TxReport& report) {
   ++report.receivers;
 
   // Collision: another overlapping transmission audible here corrupts
@@ -313,7 +465,7 @@ void Medium::deliver_one(const ActiveTx& tx, NodeId receiver,
   if (collided) {
     ++stats_.collision_drops;
     ++report.collided;
-    return;
+    return false;
   }
 
   // Reception: the deterministic reference draws from the medium's
@@ -347,13 +499,11 @@ void Medium::deliver_one(const ActiveTx& tx, NodeId receiver,
   if (!delivered) {
     ++stats_.losses;
     ++report.lost;
-    return;
+    return false;
   }
   ++stats_.deliveries;
   ++report.delivered;
-  if (nodes_[receiver].on_receive) {
-    nodes_[receiver].on_receive(tx.frame, receiver);
-  }
+  return true;
 }
 
 }  // namespace dapes::sim

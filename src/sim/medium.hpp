@@ -26,6 +26,17 @@
 /// are *identical* to the retained all-pairs reference
 /// (Params::brute_force), which the equivalence test suites assert. See
 /// DESIGN.md "Spatial medium" and "Channel & PHY models".
+///
+/// With `Params::trial_threads >= 1` the medium runs its *phase-parallel
+/// delivery engine*: frame deliveries landing on the same instant are
+/// batch-claimed from the scheduler, their reception outcomes decided
+/// serially in canonical order (preserving every shared-stream RNG draw),
+/// and the per-receiver protocol fan-out is executed on a worker pool as
+/// per-node task chains, grouped by spatial grid region, with all
+/// scheduler effects staged in per-item mailboxes and merged in canonical
+/// order. Results are bit-identical to the serial scheduler for any
+/// thread count; the serial path (`trial_threads == 0`, the default)
+/// stays the retained reference. See DESIGN.md "Parallel trial interior".
 #pragma once
 
 #include <cstdint>
@@ -34,11 +45,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include <atomic>
+
 #include "common/buffer.hpp"
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "sim/channel.hpp"
 #include "sim/mobility.hpp"
+#include "sim/parallel.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/spatial_grid.hpp"
 
@@ -108,6 +122,14 @@ class Medium {
     /// The reference exists for the equivalence tests and for
     /// bench_scale's speedup baseline.
     bool brute_force = false;
+    /// Lanes for the phase-parallel delivery engine (see the file
+    /// comment). 0 (the default) keeps the plain serial delivery path;
+    /// >= 1 enables the engine (1 = the staging code path on the calling
+    /// thread, no extra threads). Metrics are bit-identical across all
+    /// values. Requires grid mode: the engine relies on the receiver
+    /// sets captured at transmit time, so combining it with
+    /// `brute_force` throws std::invalid_argument.
+    int trial_threads = 0;
   };
 
   /// Delivered frame + the receiving node.
@@ -154,6 +176,18 @@ class Medium {
   /// Airtime of a frame of @p payload_bytes including overhead, per the
   /// channel model's bitrate/airtime rule.
   Duration frame_duration(size_t payload_bytes) const;
+
+  /// Conservative lookahead of the installed channel model: minimum
+  /// propagation delay plus the model's preamble/airtime lower bound for
+  /// an empty payload. No transmission started at or after time t can
+  /// deliver before t + min_lookahead(), which is what makes a fan-out
+  /// phase at time t safe: nothing a phase item schedules can re-enter
+  /// the medium within the phase. Cached at model-install time.
+  Duration min_lookahead() const { return min_lookahead_; }
+
+  /// True when the phase-parallel delivery engine is active
+  /// (params().trial_threads >= 1).
+  bool parallel_delivery() const { return executor_ != nullptr; }
 
   /// Current position of @p node.
   Vec2 position_of(NodeId node) const;
@@ -235,6 +269,26 @@ class Medium {
   void deliver_one(const ActiveTx& tx, NodeId receiver, Vec2 receiver_pos,
                    TxReport& report);
 
+  /// The decision half of deliver_one: collision fold, reception draw,
+  /// stats and report bookkeeping — everything except invoking the
+  /// receiver's callback. Returns true when the frame was delivered (the
+  /// callback should fire). Shared by the serial and parallel paths so
+  /// the decision logic, and its shared-stream draw order, has one home.
+  bool decide_one(const ActiveTx& tx, NodeId receiver, Vec2 receiver_pos,
+                  TxReport& report);
+
+  /// Parallel-mode delivery: claim every same-instant delivery batched
+  /// behind @p first_id, decide all outcomes serially in canonical order,
+  /// then fan the receiver/completion callbacks out over the worker pool
+  /// as per-node chains inside a scheduler phase.
+  void deliver_batch(uint64_t first_id);
+
+  /// Throw if called during a fan-out phase: medium state (carrier
+  /// sense, positions, neighbor sets, transmit) is coordinator-only; the
+  /// protocol receive path must never touch it. Makes a cross-lane read
+  /// a loud failure instead of a data race.
+  void check_not_in_phase(const char* what) const;
+
   /// Channel-model coverage of the largest radio in the trial: the upper
   /// bound used for carrier-sense queries and collision pruning.
   double max_coverage_m() const;
@@ -269,6 +323,19 @@ class Medium {
   std::unordered_map<uint64_t, ActiveTx> active_;
   uint64_t next_tx_id_ = 1;
   MediumStats stats_;
+
+  /// Cached conservative lookahead (propagation + empty-frame airtime),
+  /// computed once at model-install time instead of per transmission.
+  Duration min_lookahead_ = Duration::microseconds(0);
+  /// Worker pool of the phase-parallel delivery engine; null in serial
+  /// mode (trial_threads == 0).
+  std::unique_ptr<ParallelExecutor> executor_;
+  /// True while fan-out items run; arms the draw guard on rng_ (no
+  /// shared-stream draws on the parallel path) and backs
+  /// check_not_in_phase.
+  std::atomic<bool> fanout_active_{false};
+  /// Reused claim buffer for deliver_batch.
+  std::vector<uint64_t> claim_buf_;
 
   /// Lazy spatial index of node positions (grid mode). Entries hold the
   /// position at build time; queries inflate their radius by the drift

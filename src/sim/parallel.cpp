@@ -1,0 +1,91 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+
+namespace dapes::sim {
+
+ParallelExecutor::ParallelExecutor(int lanes)
+    : lanes_(static_cast<size_t>(std::max(1, lanes))) {
+  threads_.reserve(lanes_ - 1);
+  for (size_t i = 1; i < lanes_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ParallelExecutor::drain(const std::function<void(size_t)>& fn,
+                             size_t count) {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (next_index_ < count) {
+    const size_t i = next_index_++;
+    ++in_flight_;
+    lk.unlock();
+    std::exception_ptr err;
+    try {
+      fn(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lk.lock();
+    if (err && !first_error_) first_error_ = err;
+    --in_flight_;
+  }
+  if (in_flight_ == 0) done_cv_.notify_all();
+}
+
+void ParallelExecutor::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] {
+      return shutdown_ || (job_ != nullptr && next_index_ < job_count_);
+    });
+    if (shutdown_) return;
+    const std::function<void(size_t)>& fn = *job_;
+    const size_t count = job_count_;
+    lk.unlock();
+    drain(fn, count);
+    lk.lock();
+  }
+}
+
+void ParallelExecutor::run(size_t count,
+                           const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (lanes_ == 1 || count == 1) {
+    // Inline: same task order a one-lane pool would produce, no
+    // synchronization. Exceptions propagate directly.
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    job_count_ = count;
+    next_index_ = 0;
+    in_flight_ = 0;
+    first_error_ = nullptr;
+  }
+  work_cv_.notify_all();
+  drain(fn, count);  // the caller is lane 0
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] {
+    return next_index_ >= job_count_ && in_flight_ == 0;
+  });
+  job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace dapes::sim

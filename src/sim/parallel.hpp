@@ -1,0 +1,65 @@
+/// @file
+/// Intra-trial worker pool for phase-parallel event execution.
+///
+/// The medium's parallel delivery engine (DESIGN.md "Parallel trial
+/// interior") decomposes each delivery batch into per-node task chains and
+/// hands them to this pool. The pool is deliberately dumb: it runs N tasks
+/// distributed over its lanes and returns when all are done — every
+/// determinism concern (canonical ordering, staged scheduler mailboxes)
+/// lives in the Scheduler's phase API, so task-to-lane placement is free
+/// to be timing-dependent.
+///
+/// A pool with one lane never spawns a thread and runs tasks inline on
+/// the caller, which makes `--trial-threads 1` exercise the exact staging
+/// code path of `--trial-threads N` with zero thread-timing variance.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dapes::sim {
+
+/// Fixed-size worker pool; the constructing thread participates as lane 0,
+/// so `lanes` is the total concurrency. Workers park between batches.
+class ParallelExecutor {
+ public:
+  /// Pool with @p lanes total lanes (>= 1); spawns lanes-1 threads.
+  explicit ParallelExecutor(int lanes);
+  ~ParallelExecutor();
+  ParallelExecutor(const ParallelExecutor&) = delete;             ///< no copy
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;  ///< no copy
+
+  /// Total concurrency (threads + the calling thread).
+  size_t lanes() const { return lanes_; }
+
+  /// Run fn(0..count-1), each exactly once, distributed over the lanes;
+  /// returns when all are done. Tasks must be independent (the caller's
+  /// chains already serialize per-node work). The first exception thrown
+  /// by any task is rethrown here after every task has drained.
+  void run(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void worker_loop();
+  /// Pull-and-run tasks of the current batch until the index runs out.
+  void drain(const std::function<void(size_t)>& fn, size_t count);
+
+  size_t lanes_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a batch
+  std::condition_variable done_cv_;   // coordinator waits for completion
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t job_count_ = 0;
+  size_t next_index_ = 0;
+  size_t in_flight_ = 0;  // tasks picked up but not finished
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace dapes::sim

@@ -1,0 +1,229 @@
+// The phase-parallel trial interior's equivalence contract (DESIGN.md
+// "Parallel trial interior"): for every deterministic TrialResult field,
+// `trial_threads = N` is bit-identical to the plain serial event loop,
+// for any N, across channel models and mobility mixes.
+//
+// The randomized suite runs 12 seeds through the scale.field stack —
+// seed picks the (channel, mobility) combination round-robin, so all
+// four {unit-disk, log-distance} x {waypoint, group} pairs appear three
+// times — and compares serial against 1, 2 and 4 lanes. The remaining
+// cases are targeted: the medium-bound stress family, the configuration
+// guards (the engine requires the grid index), the Rng draw guard, and a
+// threaded stress of the scheduler's phase mailboxes + ParallelExecutor
+// that gives ThreadSanitizer real cross-thread traffic to check (CI runs
+// this binary under TSan; see .github/workflows/ci.yml).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/driver.hpp"
+#include "harness/scale.hpp"
+#include "harness/trial_runner.hpp"
+#include "sim/medium.hpp"
+#include "sim/parallel.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dapes::harness {
+namespace {
+
+// Small enough that 48 trials stay test-suite-speed; large enough that a
+// trial has real same-instant delivery batches and protocol churn.
+ScenarioParams small_field(uint64_t seed) {
+  ScenarioParams p;
+  p.files = 1;
+  p.file_size_bytes = 8 * 1024;
+  p.mobile_downloaders = 8;
+  p.stationary_downloaders = 2;
+  p.pure_forwarders = 3;
+  p.dapes_intermediates = 3;
+  p.wifi_range_m = 80.0;
+  p.data_rate_bps = 11e6;
+  p.sim_limit_s = 300.0;
+  p.seed = seed;
+  // Vary the world with the seed so all four channel x mobility pairs
+  // get three seeds each across the 12-seed range.
+  p.mobility = (seed % 2 == 0) ? MobilityKind::kRandomWaypoint
+                               : MobilityKind::kGroup;
+  if ((seed / 2) % 2 == 1) {
+    p.channel.model = "log-distance";
+    p.channel.shadowing_sigma_db = 4.0;  // exercise keyed per-link draws
+  }
+  return p;
+}
+
+void expect_equal(const TrialResult& a, const TrialResult& b) {
+  EXPECT_DOUBLE_EQ(a.download_time_s, b.download_time_s);
+  EXPECT_DOUBLE_EQ(a.completion_fraction, b.completion_fraction);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.tx_by_kind, b.tx_by_kind);
+  EXPECT_EQ(a.collided_frames, b.collided_frames);
+  EXPECT_EQ(a.peak_state_bytes, b.peak_state_bytes);
+  EXPECT_EQ(a.total_state_bytes, b.total_state_bytes);
+  EXPECT_EQ(a.peak_knowledge_bytes, b.peak_knowledge_bytes);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.system_calls, b.system_calls);
+  EXPECT_EQ(a.page_faults, b.page_faults);
+}
+
+class ParallelTrialEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelTrialEquivalence, MatchesSerialExactly) {
+  ScenarioParams p = small_field(GetParam());
+  TrialResult serial = run_trial(ProtocolNames::kScaleField, p);
+  // A trial that ends with nothing transmitted never exercised the
+  // engine; the scenario above always moves traffic, so guard against a
+  // silent vacuous pass.
+  ASSERT_GT(serial.transmissions, 0u);
+  for (int lanes : {1, 2, 4}) {
+    SCOPED_TRACE(lanes);
+    ScenarioParams q = p;
+    q.trial_threads = lanes;
+    TrialResult parallel = run_trial(ProtocolNames::kScaleField, q);
+    expect_equal(serial, parallel);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelTrialEquivalence,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(ParallelTrial, MediumStressMatchesSerial) {
+  ScenarioParams p = small_field(7);
+  p.sim_limit_s = 10.0;
+  TrialResult serial = run_trial(ProtocolNames::kScaleMedium, p);
+  ASSERT_GT(serial.transmissions, 0u);
+  for (int lanes : {2, 4}) {
+    SCOPED_TRACE(lanes);
+    ScenarioParams q = p;
+    q.trial_threads = lanes;
+    expect_equal(serial, run_trial(ProtocolNames::kScaleMedium, q));
+  }
+}
+
+TEST(ParallelTrial, ComposesWithTrialRunnerJobs) {
+  // The inter-trial (--jobs) and intra-trial (trial_threads) axes must
+  // compose: a jobs=2 batch of threaded trials reproduces the jobs=1
+  // serial batch.
+  ScenarioParams p = small_field(4);
+  p.sim_limit_s = 60.0;
+  auto serial = TrialRunner(1).run(ProtocolNames::kScaleField, p, 3);
+  ScenarioParams q = p;
+  q.trial_threads = 2;
+  auto threaded = TrialRunner(2).run(ProtocolNames::kScaleField, q, 3);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_equal(serial[i], threaded[i]);
+  }
+}
+
+TEST(ParallelTrial, RequiresGridMedium) {
+  // The engine partitions work by grid cell; the brute-force reference
+  // medium has no cells, so the combination is a configuration error.
+  ScenarioParams p = small_field(1);
+  p.trial_threads = 2;
+  p.brute_force_medium = true;
+  EXPECT_THROW(run_trial(ProtocolNames::kScaleField, p),
+               std::invalid_argument);
+}
+
+TEST(ParallelTrial, LookaheadBoundIsPositive) {
+  // The conservative bound on how soon a transmit can create a new
+  // event: empty-frame airtime (cached from the channel model at
+  // install time) + propagation. It must be strictly positive for
+  // every model — a zero bound would mean a same-instant transmit
+  // could race the batch being delivered.
+  for (const char* model : {"unit-disk", "log-distance"}) {
+    SCOPED_TRACE(model);
+    sim::Scheduler sched;
+    sim::Medium::Params mp;
+    mp.channel.model = model;
+    mp.channel.link_seed = 7;
+    mp.trial_threads = 2;
+    sim::Medium medium(sched, mp, common::Rng(1));
+    EXPECT_TRUE(medium.parallel_delivery());
+    EXPECT_GT(medium.min_lookahead().us, 0);
+  }
+}
+
+TEST(ParallelTrial, RngDrawGuardTrips) {
+  // The medium arms this guard around its fan-out: any shared-stream
+  // draw from inside a parallel phase is a determinism bug and must
+  // throw, not silently reorder the stream.
+  common::Rng rng(42);
+  std::atomic<bool> in_phase{false};
+  rng.set_draw_guard(&in_phase);
+  (void)rng.uniform(0.0, 1.0);  // fine outside a phase
+  in_phase.store(true);
+  EXPECT_THROW((void)rng.uniform(0.0, 1.0), std::logic_error);
+  in_phase.store(false);
+  (void)rng.uniform(0.0, 1.0);
+}
+
+TEST(ParallelTrial, ExecutorRunsEveryIndexOnce) {
+  sim::ParallelExecutor pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelTrial, ExecutorPropagatesException) {
+  sim::ParallelExecutor pool(4);
+  EXPECT_THROW(pool.run(64,
+                        [](size_t i) {
+                          if (i == 33) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  // The pool survives a throwing job and keeps working.
+  std::atomic<size_t> done{0};
+  pool.run(16, [&](size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 16u);
+}
+
+TEST(ParallelTrial, PhaseMailboxStressUnderThreads) {
+  // The mailbox data path the medium uses, driven directly and hard:
+  // repeated phases where every slot stages schedules (and cancels of
+  // its own events) from pool threads. Run under ThreadSanitizer in CI,
+  // this is the race detector's main course. The merged result must be
+  // the canonical slot-order interleaving every time.
+  sim::Scheduler sched;
+  sim::ParallelExecutor pool(4);
+  constexpr size_t kSlots = 64;
+  constexpr int kRounds = 50;
+  std::vector<int> fired;
+  for (int round = 0; round < kRounds; ++round) {
+    sched.begin_phase(kSlots);
+    pool.run(kSlots, [&](size_t slot) {
+      sched.bind_phase_slot(slot);
+      const sim::TimePoint at{sched.now().us + 10};
+      // Two live events and one schedule+cancel pair per slot.
+      sched.schedule_at(at, [&fired, slot] {
+        fired.push_back(static_cast<int>(2 * slot));
+      });
+      sim::EventId doomed = sched.schedule_at(
+          at, [] { ADD_FAILURE() << "cancelled staged event fired"; });
+      sched.schedule_at(at, [&fired, slot] {
+        fired.push_back(static_cast<int>(2 * slot + 1));
+      });
+      sched.cancel(doomed);
+      sched.unbind_phase_slot();
+    });
+    sched.end_phase();
+    fired.clear();
+    sched.run();
+    // Same timestamp throughout, so execution order is merge order:
+    // slot 0's events first, then slot 1's, ...
+    ASSERT_EQ(fired.size(), 2 * kSlots);
+    for (size_t i = 0; i < fired.size(); ++i) {
+      ASSERT_EQ(fired[i], static_cast<int>(i)) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dapes::harness
