@@ -13,6 +13,16 @@
 //                        the knob composes with --jobs)
 //   --no-wall            omit wall-clock metrics from the output, leaving
 //                        only deterministic ones (for byte-for-byte diffs)
+//   --trace SINK[:PATH]  structured event tracing: SINK is ring, file or
+//                        null; PATH is where the merged binary trace goes
+//                        (required for file, optional for ring). Runners
+//                        suffix PATH per cell/trial (".c<cell>.t<trial>"),
+//                        so traced sweeps compose with --jobs. Off by
+//                        default; trace content is bit-identical for any
+//                        --jobs x --trial-threads combination.
+//   --log-level LEVEL    minimum log level (trace|debug|info|warn|error|off;
+//                        default warn). DAPES_LOG_LEVEL in the environment
+//                        sets the same knob; the flag wins.
 //   --format text|csv|json   output format (default text)
 //   --out FILE           write output to FILE instead of stdout
 //
@@ -24,6 +34,7 @@
 // preserves the airtime/contact-time ratio that shapes every figure.
 #pragma once
 
+#include <algorithm>
 #include <cerrno>
 #include <climits>
 #include <cstdint>
@@ -34,8 +45,11 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "harness/scenario.hpp"
 #include "harness/sweep.hpp"
+#include "trace/record.hpp"
+#include "trace/sinks.hpp"
 
 namespace dapes::bench {
 
@@ -47,6 +61,7 @@ struct BenchArgs {
   int jobs = 0;           // 0 = all hardware threads
   int trial_threads = 0;  // 0 = serial trial interior
   bool no_wall = false;   // drop wall-clock metrics (determinism diffs)
+  trace::TraceConfig trace;  // --trace; empty sink = tracing off
   harness::OutputFormat format = harness::OutputFormat::kText;
   std::string out;  // empty = stdout
 
@@ -54,8 +69,10 @@ struct BenchArgs {
     std::fprintf(to,
                  "usage: %s [--trials N] [--quick] [--paper-scale] [--seed S]\n"
                  "       %*s [--jobs N] [--trial-threads N] [--no-wall]\n"
+                 "       %*s [--trace SINK[:PATH]] [--log-level LEVEL]\n"
                  "       %*s [--format text|csv|json] [--out FILE]\n",
                  prog, static_cast<int>(std::strlen(prog)), "",
+                 static_cast<int>(std::strlen(prog)), "",
                  static_cast<int>(std::strlen(prog)), "");
   }
 
@@ -68,6 +85,8 @@ struct BenchArgs {
   static BenchArgs parse(int argc, char** argv) {
     const char* prog = argc > 0 ? argv[0] : "bench";
     BenchArgs args;
+    // Environment default first; an explicit --log-level below overrides.
+    common::apply_log_level_from_env();
 
     // Accepts --flag value and --flag=value; rejects anything unknown.
     int i = 1;
@@ -121,6 +140,34 @@ struct BenchArgs {
             "--trial-threads", value_of("--trial-threads", inline_value), 0));
       } else if (flag == "--no-wall") {
         args.no_wall = true;
+      } else if (flag == "--trace") {
+        std::string v = value_of("--trace", inline_value);
+        size_t colon = v.find(':');
+        args.trace.sink = v.substr(0, colon);
+        if (colon != std::string::npos) args.trace.path = v.substr(colon + 1);
+        if (args.trace.sink.empty()) {
+          die(prog, "--trace: expected SINK[:PATH], got \"" + v + "\"");
+        }
+        const auto known = trace::TraceSinkRegistry::instance().names();
+        if (std::find(known.begin(), known.end(), args.trace.sink) ==
+            known.end()) {
+          std::string list;
+          for (const auto& n : known) {
+            if (!list.empty()) list += '|';
+            list += n;
+          }
+          die(prog, "--trace: unknown sink \"" + args.trace.sink +
+                        "\" (expected " + list + ")");
+        }
+      } else if (flag == "--log-level") {
+        std::string v = value_of("--log-level", inline_value);
+        auto level = common::parse_log_level(v);
+        if (!level) {
+          die(prog,
+              "--log-level: expected trace|debug|info|warn|error|off, got \"" +
+                  v + "\"");
+        }
+        common::set_log_level(*level);
       } else if (flag == "--format") {
         std::string v = value_of("--format", inline_value);
         auto f = harness::parse_output_format(v);
@@ -143,6 +190,7 @@ struct BenchArgs {
     harness::ScenarioParams p;
     p.seed = seed;
     p.trial_threads = trial_threads;
+    p.trace = trace;
     if (paper_scale) {
       p.file_size_bytes = 1024 * 1024;
       p.data_rate_bps = 11e6;
@@ -177,7 +225,7 @@ struct BenchArgs {
     if (!out.empty()) {
       f = std::fopen(out.c_str(), "w");
       if (f == nullptr) {
-        std::fprintf(stderr, "cannot open --out file %s\n", out.c_str());
+        DAPES_LOG_ERROR("bench") << "cannot open --out file " << out;
         return 1;
       }
     }
@@ -187,7 +235,7 @@ struct BenchArgs {
           harness::run_sweep(spec, harness::TrialRunner(jobs));
       harness::write_sweep(result, format, f);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "sweep failed: %s\n", e.what());
+      DAPES_LOG_ERROR("bench") << "sweep failed: " << e.what();
       code = 1;
     }
     if (f != stdout) std::fclose(f);

@@ -28,8 +28,10 @@
 // on a reduced sim horizon, and only for the two cheap grid series; the
 // threads series only run where the parallel interior has enough
 // same-instant work to matter (>= 500 nodes). Skipped cells are written
-// as 0.0 and each skip is logged to stderr, so a 0.0 in the output is
-// always accounted for rather than a silent truncation.
+// as 0.0 and each skip is logged at WARN through common/logging (the
+// reduced-trial 10k note logs at INFO; dial --log-level info to see it),
+// so a 0.0 in the output is always accounted for rather than a silent
+// truncation.
 //
 // BENCH_scale.json is the committed baseline (`--trials 1 --jobs 1
 // --format json`); absolute wall timings are machine-dependent, the
@@ -138,7 +140,7 @@ int main(int argc, char** argv) {
   if (!args.out.empty()) {
     f = std::fopen(args.out.c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "cannot open --out file %s\n", args.out.c_str());
+      DAPES_LOG_ERROR("bench_scale") << "cannot open --out file " << args.out;
       return 1;
     }
   }
@@ -174,6 +176,9 @@ int main(int argc, char** argv) {
     // Seed by (x, trial) only — shared across series, so grid/brute and
     // serial/parallel cells run identical workloads.
     p.seed = common::derive_seed(common::derive_seed(args.seed, xi), trial);
+    // Per-task trace file, named by grid position (never by thread).
+    p.trace = trace::with_path_suffix(
+        p.trace, ".c" + std::to_string(cell) + ".t" + std::to_string(trial));
     raw[cell][trial] = harness::run_trial(series[si].driver, p);
   });
 
@@ -193,12 +198,11 @@ int main(int argc, char** argv) {
         if (!series_runs(si, xi)) {
           result.values[m][si][xi] = 0.0;
           if (m == 0) {
-            std::fprintf(stderr,
-                         "bench_scale: skipping %s at %g nodes "
-                         "(series runs %g..%g); cell written as 0.0\n",
-                         series[si].label,
-                         xs[xi], args.quick ? 0.0 : series[si].min_nodes_full,
-                         series[si].max_nodes);
+            DAPES_LOG_WARN("bench_scale")
+                << "skipping " << series[si].label << " at " << xs[xi]
+                << " nodes (series runs "
+                << (args.quick ? 0.0 : series[si].min_nodes_full) << ".."
+                << series[si].max_nodes << "); cell written as 0.0";
           }
           continue;
         }
@@ -210,10 +214,10 @@ int main(int argc, char** argv) {
           samples.push_back(metrics[m].value(cell[t]));
         }
         if (m == 0 && take < trials) {
-          std::fprintf(stderr,
-                       "bench_scale: %s at %g nodes ran %zu/%zu trials "
-                       "(single-trial 10k point, sim horizon <= %g s)\n",
-                       series[si].label, xs[xi], take, trials, kBigNLimitS);
+          DAPES_LOG_INFO("bench_scale")
+              << series[si].label << " at " << xs[xi] << " nodes ran " << take
+              << "/" << trials << " trials (single-trial 10k point, sim "
+              << "horizon <= " << kBigNLimitS << " s)";
         }
         result.values[m][si][xi] =
             harness::aggregate_metric(metrics[m], std::move(samples));

@@ -1,7 +1,9 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace dapes::common {
 
@@ -9,7 +11,15 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
-const char* level_name(LogLevel level) {
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace: return "TRACE";
     case LogLevel::kDebug: return "DEBUG";
@@ -21,19 +31,36 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
-}  // namespace
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
-
-void set_log_level(LogLevel level) {
-  g_level.store(level, std::memory_order_relaxed);
+bool apply_log_level_from_env() {
+  const char* env = std::getenv("DAPES_LOG_LEVEL");
+  if (env == nullptr) return false;
+  auto level = parse_log_level(env);
+  if (!level) return false;
+  set_log_level(*level);
+  return true;
 }
 
 void log_line(LogLevel level, const std::string& component,
               const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
-               message.c_str());
+  std::fprintf(stderr, "[%s] %s: %s\n", log_level_name(level),
+               component.c_str(), message.c_str());
 }
 
 }  // namespace dapes::common

@@ -7,8 +7,10 @@
 // never corrupt them; set the level before starting parallel runs.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace dapes::common {
 
@@ -17,6 +19,19 @@ enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Process-wide minimum level.
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Parse a level name ("trace", "debug", "info", "warn", "error", "off";
+/// case-insensitive). nullopt on anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Canonical upper-case name of a level ("TRACE" .. "OFF").
+const char* log_level_name(LogLevel level);
+
+/// Apply the DAPES_LOG_LEVEL environment variable if it is set to a valid
+/// level name; returns false (and leaves the level alone) otherwise.
+/// Benches call this before parsing flags, so an explicit --log-level
+/// still wins.
+bool apply_log_level_from_env();
 
 /// Emit one line (used by the LOG macro; callers normally use the macro).
 void log_line(LogLevel level, const std::string& component,

@@ -1,12 +1,13 @@
-// Compact data advertisements (paper §IV-D).
-//
-// A Bitmap has one bit per packet in a collection, ordered by the relative
-// position of files in the metadata and of packets within each file: for
-// the Fig. 4 example, bit 0 is bridge-picture/0 ... bit 99 is
-// bridge-picture/99, bit 100 is bridge-location/0, bit 101 is
-// bridge-location/1. CollectionLayout owns that global-index <-> (file,
-// seq) mapping; Bitmap is the bit vector plus the set/rarity operations
-// the RPF strategies need.
+/// @file
+/// Compact data advertisements (paper §IV-D).
+///
+/// A Bitmap has one bit per packet in a collection, ordered by the relative
+/// position of files in the metadata and of packets within each file: for
+/// the Fig. 4 example, bit 0 is bridge-picture/0 ... bit 99 is
+/// bridge-picture/99, bit 100 is bridge-location/0, bit 101 is
+/// bridge-location/1. CollectionLayout owns that global-index <-> (file,
+/// seq) mapping; Bitmap is the bit vector plus the set/rarity operations
+/// the RPF strategies need.
 #pragma once
 
 #include <cstdint>
@@ -22,28 +23,36 @@ namespace dapes::core {
 /// file order fixed by the collection metadata.
 class CollectionLayout {
  public:
+  /// One file's slot in the layout: its name and packet count.
   struct FileEntry {
-    std::string name;
-    size_t packet_count = 0;
+    std::string name;           ///< file name within the collection
+    size_t packet_count = 0;    ///< packets the file segments into
   };
 
+  /// Empty layout (no files, no packets).
   CollectionLayout() = default;
+  /// Layout over @p files in metadata order.
   explicit CollectionLayout(std::vector<FileEntry> files);
 
+  /// Total packets across all files.
   size_t total_packets() const { return total_; }
+  /// Number of files.
   size_t file_count() const { return files_.size(); }
+  /// Entry of the @p i th file; @throws std::out_of_range past the end.
   const FileEntry& file(size_t i) const { return files_.at(i); }
+  /// All file entries in metadata order.
   const std::vector<FileEntry>& files() const { return files_; }
 
   /// Global index of (file_name, seq); nullopt for unknown file / range.
   std::optional<size_t> index_of(const std::string& file_name,
                                  uint64_t seq) const;
 
-  /// Inverse mapping. @throws std::out_of_range for bad indices.
+  /// A global index resolved back to its (file, sequence) coordinates.
   struct Location {
-    std::string file_name;
-    uint64_t seq = 0;
+    std::string file_name;  ///< owning file's name
+    uint64_t seq = 0;       ///< packet sequence within the file
   };
+  /// Inverse mapping. @throws std::out_of_range for bad indices.
   Location locate(size_t global_index) const;
 
  private:
@@ -55,19 +64,28 @@ class CollectionLayout {
 /// One bit per packet: 1 = have, 0 = missing.
 class Bitmap {
  public:
+  /// Empty bitmap (zero bits).
   Bitmap() = default;
+  /// All-clear bitmap of @p size bits.
   explicit Bitmap(size_t size);
 
+  /// Number of bits (== packets in the collection).
   size_t size() const { return size_; }
+  /// True for a zero-bit bitmap.
   bool empty() const { return size_ == 0; }
 
+  /// Value of bit @p i (false when out of range).
   bool test(size_t i) const;
+  /// Set (or clear) bit @p i; out-of-range indices are ignored.
   void set(size_t i, bool value = true);
 
   /// Number of set bits.
   size_t count() const;
+  /// True when every bit is set (complete collection).
   bool full() const { return count() == size_; }
+  /// True when no bit is set.
   bool none() const { return count() == 0; }
+  /// Fraction of bits set, 0.0 for an empty bitmap.
   double completeness() const {
     return size_ == 0 ? 0.0 : static_cast<double>(count()) / size_;
   }
@@ -84,8 +102,10 @@ class Bitmap {
 
   /// Wire form: 4-byte big-endian bit count then packed bits (MSB first).
   common::Bytes encode() const;
+  /// Parse the `encode()` wire form; nullopt on malformed input.
   static std::optional<Bitmap> decode(common::BytesView wire);
 
+  /// Bit-for-bit equality (size and every word).
   bool operator==(const Bitmap&) const = default;
 
  private:

@@ -1,16 +1,17 @@
-// File collections (paper §II-C): the unit of sharing.
-//
-// A producer groups files, segments each into fixed-size packets, names
-// them under the collection prefix, signs every packet, and publishes
-// signed metadata. Collection is the producer-side content oracle: it can
-// emit any packet as a signed ndn::Data on demand.
-//
-// Two payload modes:
-//   * explicit — real file bytes are stored (examples, small tests);
-//   * synthetic — payloads are generated deterministically from the packet
-//     name. Simulations with tens of megabytes of nominal content use this
-//     so per-node memory stays flat; digests/Merkle roots are computed
-//     over the same synthetic bytes, so integrity verification is real.
+/// @file
+/// File collections (paper §II-C): the unit of sharing.
+///
+/// A producer groups files, segments each into fixed-size packets, names
+/// them under the collection prefix, signs every packet, and publishes
+/// signed metadata. Collection is the producer-side content oracle: it can
+/// emit any packet as a signed ndn::Data on demand.
+///
+/// Two payload modes:
+///   * explicit — real file bytes are stored (examples, small tests);
+///   * synthetic — payloads are generated deterministically from the packet
+///     name. Simulations with tens of megabytes of nominal content use this
+///     so per-node memory stays flat; digests/Merkle roots are computed
+///     over the same synthetic bytes, so integrity verification is real.
 #pragma once
 
 #include <memory>
@@ -22,16 +23,20 @@
 
 namespace dapes::core {
 
+/// Producer-side content oracle: a signed, segmented group of files that
+/// can emit any packet (or metadata segment) as a signed ndn::Data.
 class Collection {
  public:
+  /// One real file to publish (explicit payload mode).
   struct FileInput {
-    std::string name;
-    common::Bytes content;  // explicit mode
+    std::string name;       ///< file name within the collection
+    common::Bytes content;  ///< the file's bytes
   };
 
+  /// One synthetic file to publish (deterministic generated payloads).
   struct SyntheticFileInput {
-    std::string name;
-    size_t size_bytes = 0;
+    std::string name;        ///< file name within the collection
+    size_t size_bytes = 0;   ///< nominal file size
   };
 
   /// Build from real file contents.
@@ -45,10 +50,15 @@ class Collection {
       size_t packet_size, MetadataFormat format,
       const crypto::PrivateKey& producer_key);
 
+  /// The collection's name prefix.
   const Name& name() const { return metadata_.collection(); }
+  /// The signed metadata describing the collection.
   const Metadata& metadata() const { return metadata_; }
+  /// The global-index <-> (file, seq) mapping.
   const CollectionLayout& layout() const { return layout_; }
+  /// Total packets across all files.
   size_t total_packets() const { return layout_.total_packets(); }
+  /// Fixed payload size each file is segmented into.
   size_t packet_size() const { return packet_size_; }
 
   /// The signed Data packet for a global packet index.
@@ -65,6 +75,7 @@ class Collection {
     return metadata_packets_;
   }
 
+  /// Key id of the producer that signed the collection.
   const crypto::KeyId& producer() const { return producer_id_; }
 
   /// Deterministic synthetic payload for a packet name — exposed so tests

@@ -1,10 +1,11 @@
-// Nodes that forward but do not run the DAPES application.
-//
-// The paper's topology (Fig. 7) includes 10 "pure forwarders" — nodes with
-// only an NFD instance (§V-A) — and 10 intermediate nodes that understand
-// DAPES semantics (§V-B) but download nothing. ForwarderNode wires a
-// radio, a wifi face, and a forwarder with the chosen strategy; it is also
-// the building block for deploying relay infrastructure in applications.
+/// @file
+/// Nodes that forward but do not run the DAPES application.
+///
+/// The paper's topology (Fig. 7) includes 10 "pure forwarders" — nodes with
+/// only an NFD instance (§V-A) — and 10 intermediate nodes that understand
+/// DAPES semantics (§V-B) but download nothing. ForwarderNode wires a
+/// radio, a wifi face, and a forwarder with the chosen strategy; it is also
+/// the building block for deploying relay infrastructure in applications.
 #pragma once
 
 #include <memory>
@@ -16,20 +17,26 @@
 
 namespace dapes::core {
 
+/// Which relay behavior a ForwarderNode runs.
 enum class ForwarderKind {
-  kPureForwarder,       // NDN-only node (probabilistic relay + suppression)
-  kDapesIntermediate,   // overhears DAPES semantics (knowledge-driven)
+  kPureForwarder,       ///< NDN-only node (probabilistic relay + suppression)
+  kDapesIntermediate,   ///< overhears DAPES semantics (knowledge-driven)
 };
 
+/// A relay-only node: radio + wifi face + forwarder with the chosen
+/// strategy, no DAPES application on top.
 class ForwarderNode {
  public:
+  /// Construction knobs.
   struct Options {
-    ForwarderKind kind = ForwarderKind::kPureForwarder;
-    double forward_probability = 0.2;
-    size_t cs_capacity = 4096;
+    ForwarderKind kind = ForwarderKind::kPureForwarder;  ///< strategy choice
+    double forward_probability = 0.2;  ///< §V-A probabilistic relay p
+    size_t cs_capacity = 4096;         ///< content-store entry cap
+    /// Suppression window for randomized relay delays.
     common::Duration tx_window = common::Duration::milliseconds(20);
   };
 
+  /// Wire a radio, face and forwarder onto @p medium under @p sched.
   ForwarderNode(sim::Scheduler& sched, sim::Medium& medium,
                 sim::MobilityModel* mobility, common::Rng rng,
                 Options options);
@@ -37,8 +44,11 @@ class ForwarderNode {
   ForwarderNode(const ForwarderNode&) = delete;
   ForwarderNode& operator=(const ForwarderNode&) = delete;
 
+  /// The node id the radio registered on the medium.
   sim::NodeId node() const { return node_; }
+  /// The node's forwarder (owns tables and faces).
   ndn::Forwarder& forwarder() { return *forwarder_; }
+  /// The relay strategy driving this node.
   PureForwarderStrategy& strategy() { return *strategy_; }
 
   /// Knowledge footprint (0 for pure forwarders), for Table-I reporting.

@@ -1,12 +1,13 @@
-// DAPES control-plane message payloads.
-//
-//   * DiscoveryMessage — content of a discovery Data packet: which
-//     collections (by metadata name) the sender can offer (paper §IV-B).
-//   * BitmapMessage — payload of a bitmap announcement: the sender's
-//     bitmap for one collection, prefixed by the collection layout (file
-//     names + packet counts) so that nodes without the metadata —
-//     intermediate DAPES nodes interested in other collections — can
-//     still map packet names to bits (paper §V-B overhearing).
+/// @file
+/// DAPES control-plane message payloads.
+///
+///   * DiscoveryMessage — content of a discovery Data packet: which
+///     collections (by metadata name) the sender can offer (paper §IV-B).
+///   * BitmapMessage — payload of a bitmap announcement: the sender's
+///     bitmap for one collection, prefixed by the collection layout (file
+///     names + packet counts) so that nodes without the metadata —
+///     intermediate DAPES nodes interested in other collections — can
+///     still map packet names to bits (paper §V-B overhearing).
 #pragma once
 
 #include <optional>
@@ -20,26 +21,35 @@ namespace dapes::core {
 
 using ndn::Name;
 
+/// Content of a discovery Data packet: the collections (by metadata name)
+/// the sender can offer (paper §IV-B).
 struct DiscoveryMessage {
-  std::string peer_id;
+  std::string peer_id;  ///< sender's peer identifier
   /// Metadata name prefixes ("/<collection>/metadata-file/<digest8>").
   std::vector<Name> metadata_names;
 
+  /// Wire form (length-prefixed strings).
   common::Bytes encode() const;
+  /// Parse the `encode()` wire form; nullopt on malformed input.
   static std::optional<DiscoveryMessage> decode(common::BytesView wire);
 
+  /// Field-wise equality.
   bool operator==(const DiscoveryMessage&) const = default;
 };
 
+/// Payload of a bitmap announcement: the sender's bitmap for one
+/// collection, self-describing via the embedded layout (§V-B overhearing).
 struct BitmapMessage {
-  std::string peer_id;
-  Name collection;
-  uint64_t round = 0;
+  std::string peer_id;  ///< sender's peer identifier
+  Name collection;      ///< collection the bitmap describes
+  uint64_t round = 0;   ///< announcement round counter
   /// File order + packet counts (the bitmap's bit layout).
   std::vector<CollectionLayout::FileEntry> layout;
-  Bitmap bitmap;
+  Bitmap bitmap;        ///< one bit per packet: 1 = sender has it
 
+  /// Wire form (layout then packed bitmap).
   common::Bytes encode() const;
+  /// Parse the `encode()` wire form; nullopt on malformed input.
   static std::optional<BitmapMessage> decode(common::BytesView wire);
 };
 

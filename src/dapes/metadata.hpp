@@ -1,16 +1,17 @@
-// Collection metadata for secure initialization (paper §IV-C, Fig. 4).
-//
-// Two encodings, trading metadata size against how soon packet integrity
-// can be verified:
-//   * kPacketDigest — "[packet-index]/[packet-digest]" per packet: large
-//     (may need several network-layer segments, possibly several
-//     encounters to fetch) but each packet verifies on arrival.
-//   * kMerkleTree — one Merkle root per file: fits in a single segment,
-//     but a file verifies only after all of its packets arrive (or with
-//     an explicit inclusion proof).
-//
-// The producer signs the metadata; peers verify the signature against
-// their local trust anchors before trusting the collection (§III).
+/// @file
+/// Collection metadata for secure initialization (paper §IV-C, Fig. 4).
+///
+/// Two encodings, trading metadata size against how soon packet integrity
+/// can be verified:
+///   * kPacketDigest — "[packet-index]/[packet-digest]" per packet: large
+///     (may need several network-layer segments, possibly several
+///     encounters to fetch) but each packet verifies on arrival.
+///   * kMerkleTree — one Merkle root per file: fits in a single segment,
+///     but a file verifies only after all of its packets arrive (or with
+///     an explicit inclusion proof).
+///
+/// The producer signs the metadata; peers verify the signature against
+/// their local trust anchors before trusting the collection (§III).
 #pragma once
 
 #include <cstdint>
@@ -26,45 +27,57 @@
 
 namespace dapes::core {
 
+/// Which integrity encoding the metadata carries (see file comment).
 enum class MetadataFormat : uint8_t {
-  kPacketDigest = 1,
-  kMerkleTree = 2,
+  kPacketDigest = 1,  ///< per-packet digests: big, verifies on arrival
+  kMerkleTree = 2,    ///< per-file Merkle root: small, verifies per file
 };
 
 /// Per-file section of the metadata.
 struct FileMetadata {
-  std::string name;
-  size_t packet_count = 0;
+  std::string name;         ///< file name within the collection
+  size_t packet_count = 0;  ///< packets the file segments into
   /// kPacketDigest: one digest per packet, indexed by sequence number.
   std::vector<crypto::Digest> packet_digests;
   /// kMerkleTree: the file's Merkle root.
   std::optional<crypto::Digest> merkle_root;
 
+  /// Field-wise equality.
   bool operator==(const FileMetadata&) const = default;
 };
 
+/// The signed description of a collection: file order, packet counts and
+/// integrity material (digests or Merkle roots) per file.
 class Metadata {
  public:
+  /// Empty metadata (no collection, no files).
   Metadata() = default;
+  /// Metadata for @p collection over @p files in bitmap order.
   Metadata(Name collection, MetadataFormat format,
            std::vector<FileMetadata> files);
 
+  /// The collection's name prefix.
   const Name& collection() const { return collection_; }
+  /// The integrity encoding in use.
   MetadataFormat format() const { return format_; }
+  /// Per-file sections in bitmap order.
   const std::vector<FileMetadata>& files() const { return files_; }
 
   /// Layout implied by file order (bitmap bit ordering, §IV-D).
   CollectionLayout layout() const;
 
+  /// Total packets across all files.
   size_t total_packets() const;
 
   /// TLV encoding of the metadata body (what gets segmented + signed).
   common::Bytes encode() const;
+  /// Parse the `encode()` wire form; nullopt on malformed input.
   static std::optional<Metadata> decode(common::BytesView wire);
 
   /// SHA-256 of the encoded body; the first 8 hex chars become the
   /// metadata name component (Fig. 4: ".../metadata-file/A23D1F9B").
   crypto::Digest digest() const;
+  /// First 8 hex characters of digest(), upper-case.
   std::string digest8() const;
 
   /// Name prefix for this metadata's segments.
@@ -93,6 +106,7 @@ class Metadata {
   bool verify_file(size_t file_index,
                    const std::vector<crypto::Digest>& packet_digests) const;
 
+  /// Field-wise equality.
   bool operator==(const Metadata&) const = default;
 
  private:

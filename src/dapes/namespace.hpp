@@ -1,14 +1,15 @@
-// DAPES namespace design (paper §IV-A).
-//
-// Hierarchical, semantically meaningful names:
-//   collection:       /damaged-bridge-1533783192
-//   packet in a file: /damaged-bridge-1533783192/bridge-picture/0
-//   metadata:         /damaged-bridge-1533783192/metadata-file/<digest8>/<seg>
-//   discovery:        /dapes/discovery
-//   bitmap exchange:  /dapes/bitmap/<collection...>
-//
-// These helpers centralize construction/parsing so the rest of the code
-// never hand-assembles name strings.
+/// @file
+/// DAPES namespace design (paper §IV-A).
+///
+/// Hierarchical, semantically meaningful names:
+///   collection:       /damaged-bridge-1533783192
+///   packet in a file: /damaged-bridge-1533783192/bridge-picture/0
+///   metadata:         /damaged-bridge-1533783192/metadata-file/<digest8>/<seg>
+///   discovery:        /dapes/discovery
+///   bitmap exchange:  /dapes/bitmap/<collection...>
+///
+/// These helpers centralize construction/parsing so the rest of the code
+/// never hand-assembles name strings.
 #pragma once
 
 #include <cstdint>
@@ -21,10 +22,13 @@ namespace dapes::core {
 
 using ndn::Name;
 
-/// Reserved component names.
+/// Reserved top-level application component ("/dapes/...").
 inline constexpr std::string_view kAppPrefix = "dapes";
+/// Discovery subtree component ("/dapes/discovery").
 inline constexpr std::string_view kDiscoveryComponent = "discovery";
+/// Bitmap-exchange subtree component ("/dapes/bitmap").
 inline constexpr std::string_view kBitmapComponent = "bitmap";
+/// Metadata marker component ("<collection>/metadata-file/...").
 inline constexpr std::string_view kMetadataComponent = "metadata-file";
 
 /// "/dapes/discovery"
@@ -65,9 +69,9 @@ Name packet_name(const Name& collection, const std::string& file_name,
 
 /// Parsed form of a packet name.
 struct PacketNameParts {
-  Name collection;
-  std::string file_name;
-  uint64_t seq = 0;
+  Name collection;        ///< collection prefix
+  std::string file_name;  ///< file component
+  uint64_t seq = 0;       ///< packet sequence within the file
 };
 
 /// Parse "/<collection...>/<file>/<seq>" given the collection prefix

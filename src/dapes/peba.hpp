@@ -1,15 +1,16 @@
-// Data advertisement prioritization & collision mitigation (paper §IV-F).
-//
-// Bitmap transmissions during an encounter are prioritized: the first goes
-// to the peer with most of the data; each subsequent transmission is
-// prioritized by how many packets the peer holds that are missing from
-// every previously transmitted bitmap. Linear prioritization alone (divide
-// a default transmission window by the held fraction) collides whenever
-// peers hold similar amounts, so PEBA — Priority-based Exponential Backoff
-// Algorithm — splits colliding peers into priority groups over
-// exponentially grown slot counts: peers holding at least half of the
-// still-missing packets pick a random slot in the first group, the rest in
-// the second.
+/// @file
+/// Data advertisement prioritization & collision mitigation (paper §IV-F).
+///
+/// Bitmap transmissions during an encounter are prioritized: the first goes
+/// to the peer with most of the data; each subsequent transmission is
+/// prioritized by how many packets the peer holds that are missing from
+/// every previously transmitted bitmap. Linear prioritization alone (divide
+/// a default transmission window by the held fraction) collides whenever
+/// peers hold similar amounts, so PEBA — Priority-based Exponential Backoff
+/// Algorithm — splits colliding peers into priority groups over
+/// exponentially grown slot counts: peers holding at least half of the
+/// still-missing packets pick a random slot in the first group, the rest in
+/// the second.
 #pragma once
 
 #include <cstdint>
@@ -21,8 +22,11 @@ namespace dapes::core {
 
 using common::Duration;
 
+/// Computes PEBA transmission delays: linear prioritization first, then
+/// priority-grouped exponential backoff after detected collisions.
 class PebaScheduler {
  public:
+  /// Tuning knobs (paper defaults).
   struct Params {
     /// Default transmission window W (paper evaluation: 20 ms).
     Duration window = Duration::milliseconds(20);
@@ -34,9 +38,12 @@ class PebaScheduler {
     int max_rounds = 6;
   };
 
+  /// Scheduler with the paper-default parameters.
   PebaScheduler() : PebaScheduler(Params{}) {}
+  /// Scheduler with explicit parameters.
   explicit PebaScheduler(Params params) : params_(params) {}
 
+  /// The active parameters.
   const Params& params() const { return params_; }
 
   /// Linear prioritization delay before any collision: the transmission

@@ -1,20 +1,21 @@
-// The DAPES peer application (paper §III, Fig. 3).
-//
-// A Peer owns a full node stack — radio, NFD-lite forwarder with a
-// DAPES-intermediate strategy, and the application logic that drives the
-// four-step loop:
-//   1. discover neighbors and file collections (adaptive-period discovery
-//      Interests, §IV-B);
-//   2. retrieve and authenticate collection metadata on first contact
-//      (§IV-C);
-//   3. advertise available collection data via prioritized, PEBA-scheduled
-//      bitmap announcements (§IV-D, §IV-F);
-//   4. fetch collection data with an RPF strategy (§IV-E), either after b
-//      bitmaps ("bitmaps first") or interleaved with advertisements.
-//
-// Producers publish() a Collection and serve its packets; every peer that
-// completes a collection keeps serving it (seeding). Stationary
-// repositories are just Peers with StationaryMobility.
+/// @file
+/// The DAPES peer application (paper §III, Fig. 3).
+///
+/// A Peer owns a full node stack — radio, NFD-lite forwarder with a
+/// DAPES-intermediate strategy, and the application logic that drives the
+/// four-step loop:
+///   1. discover neighbors and file collections (adaptive-period discovery
+///      Interests, §IV-B);
+///   2. retrieve and authenticate collection metadata on first contact
+///      (§IV-C);
+///   3. advertise available collection data via prioritized, PEBA-scheduled
+///      bitmap announcements (§IV-D, §IV-F);
+///   4. fetch collection data with an RPF strategy (§IV-E), either after b
+///      bitmaps ("bitmaps first") or interleaved with advertisements.
+///
+/// Producers publish() a Collection and serve its packets; every peer that
+/// completes a collection keeps serving it (seeding). Stationary
+/// repositories are just Peers with StationaryMobility.
 #pragma once
 
 #include <functional>
@@ -45,43 +46,47 @@ enum class AdvertisementMode {
   kInterleaved,
 };
 
+/// Every knob of a Peer, grouped by the figure that sweeps it.
 struct PeerOptions {
-  std::string id = "peer";
+  std::string id = "peer";  ///< peer identifier carried in messages
 
-  // --- fetch strategy (Fig. 9a) ---
+  /// Fetch-strategy variant (Fig. 9a).
   RpfKind rpf = RpfKind::kLocalNeighborhood;
-  bool random_start = true;
-  size_t encounter_history = 20;
+  bool random_start = true;       ///< random vs same first packet (Fig. 9a)
+  size_t encounter_history = 20;  ///< encounter-based RPF history depth
 
-  // --- advertisements (Fig. 9c/9d) ---
+  /// When data fetching starts relative to bitmap collection (Fig. 9c/9d).
   AdvertisementMode advertisement_mode = AdvertisementMode::kInterleaved;
   /// Bitmaps to collect before data download; 0 = "all peers in range"
   /// (the paper's "all bitmaps" configuration).
   int bitmaps_before_data = 2;
 
-  // --- collision mitigation (Fig. 9b) ---
-  bool use_peba = true;
-  PebaScheduler::Params peba{};
+  bool use_peba = true;        ///< PEBA vs plain linear delays (Fig. 9b)
+  PebaScheduler::Params peba{};  ///< PEBA tuning
 
-  // --- timers ---
+  /// Suppression window for randomized announcement delays.
   common::Duration tx_window = common::Duration::milliseconds(20);
+  /// Adaptive discovery period bounds (§IV-B).
   common::Duration discovery_period_min = common::Duration::seconds(1.0);
-  common::Duration discovery_period_max = common::Duration::seconds(6.0);
+  common::Duration discovery_period_max = common::Duration::seconds(6.0);  ///< see min
+  /// Forget neighbors not heard for this long.
   common::Duration neighbor_ttl = common::Duration::seconds(12.0);
+  /// Lifetime stamped on expressed Interests.
   common::Duration interest_lifetime = common::Duration::seconds(1.5);
 
-  // --- data fetch pipeline ---
-  int interest_window = 4;
+  int interest_window = 4;  ///< concurrent in-flight data Interests
 
-  // --- multi-hop (Fig. 9g/9h) ---
-  bool multihop = true;
-  double forward_probability = 0.2;
+  bool multihop = true;              ///< relay beyond one hop (Fig. 9g/9h)
+  double forward_probability = 0.2;  ///< relay probability when multihop
 
-  size_t cs_capacity = 4096;
+  size_t cs_capacity = 4096;  ///< content-store entry cap
 };
 
+/// A full DAPES node: radio, forwarder and the four-step application
+/// loop (discover, fetch metadata, advertise bitmaps, fetch data).
 class Peer {
  public:
+  /// Wire the node onto @p medium under @p sched; call start() after.
   Peer(sim::Scheduler& sched, sim::Medium& medium,
        sim::MobilityModel* mobility, common::Rng rng, PeerOptions options);
 
@@ -103,14 +108,21 @@ class Peer {
 
   /// Trust the given producer key (models the shared local trust anchors).
   void add_trust_anchor(const crypto::KeyId& producer);
+  /// The peer's key store (trust anchors + own key).
   crypto::KeyChain& keychain() { return keychain_; }
 
+  /// The peer identifier carried in control messages.
   const std::string& id() const { return options_.id; }
+  /// The node id the radio registered on the medium.
   sim::NodeId node() const { return node_; }
+  /// The node's forwarder (owns tables and faces).
   ndn::Forwarder& forwarder() { return *forwarder_; }
 
+  /// True once the collection finished downloading (or was published).
   bool complete(const Name& collection) const;
+  /// When the collection completed; nullopt while still downloading.
   std::optional<common::TimePoint> completion_time(const Name& collection) const;
+  /// Downloaded fraction of the collection in [0, 1].
   double progress(const Name& collection) const;
 
   /// Called when a subscribed collection finishes downloading.
@@ -119,18 +131,20 @@ class Peer {
     on_complete_ = std::move(cb);
   }
 
+  /// Application-level counters (inputs to the harness metrics).
   struct PeerStats {
-    uint64_t discovery_interests_sent = 0;
-    uint64_t discovery_responses_sent = 0;
-    uint64_t bitmap_announcements_sent = 0;
-    uint64_t bitmap_collisions_detected = 0;
-    uint64_t data_interests_sent = 0;
-    uint64_t data_packets_received = 0;
-    uint64_t data_packets_served = 0;
-    uint64_t integrity_failures = 0;
-    uint64_t metadata_rejected = 0;
-    uint64_t interest_timeouts = 0;
+    uint64_t discovery_interests_sent = 0;    ///< §IV-B queries sent
+    uint64_t discovery_responses_sent = 0;    ///< §IV-B responses served
+    uint64_t bitmap_announcements_sent = 0;   ///< §IV-D announcements
+    uint64_t bitmap_collisions_detected = 0;  ///< PEBA collision rounds
+    uint64_t data_interests_sent = 0;         ///< data Interests expressed
+    uint64_t data_packets_received = 0;       ///< verified packets stored
+    uint64_t data_packets_served = 0;         ///< packets served to others
+    uint64_t integrity_failures = 0;          ///< digest/Merkle mismatches
+    uint64_t metadata_rejected = 0;           ///< signature rejections
+    uint64_t interest_timeouts = 0;           ///< expressed Interests timed out
   };
+  /// The peer's counters so far.
   const PeerStats& stats() const { return stats_; }
 
   /// Modeled state footprint (bitmaps, neighbor tables, strategy
@@ -145,13 +159,14 @@ class Peer {
 
   /// Introspection for tests and diagnostics.
   struct DownloadDebug {
-    bool has_metadata = false;
-    bool fetching_enabled = false;
-    double progress = 0.0;
-    size_t in_flight = 0;
-    size_t known_bitmaps = 0;
-    size_t fresh_neighbors = 0;
+    bool has_metadata = false;      ///< metadata fetched and verified
+    bool fetching_enabled = false;  ///< data fetching unlocked
+    double progress = 0.0;          ///< downloaded fraction
+    size_t in_flight = 0;           ///< outstanding data Interests
+    size_t known_bitmaps = 0;       ///< bitmaps informing the strategy
+    size_t fresh_neighbors = 0;     ///< neighbors inside the TTL
   };
+  /// Snapshot of the download state for @p collection.
   DownloadDebug debug_download(const Name& collection) const;
 
  private:

@@ -1,16 +1,17 @@
-// Rarest-Piece-First fetch strategies (paper §IV-E).
-//
-// Two variants of RPF tailored to off-the-grid communication:
-//   * Local-neighborhood RPF — rarity of a packet is the number of
-//     currently-connected neighbors whose bitmap shows it missing. State
-//     expires with the encounter; nothing long-term is kept.
-//   * Encounter-based RPF — rarity is estimated over the bitmaps of the
-//     last K encountered peers (swarm-wide view at the cost of state).
-//
-// Both prefer packets that are (a) missing locally, (b) available from at
-// least one known holder, and (c) rarest; ties break in a deterministic
-// shuffled order so concurrent downloaders diverge ("random first packet",
-// Fig. 9a) or in sequential order ("same first packet").
+/// @file
+/// Rarest-Piece-First fetch strategies (paper §IV-E).
+///
+/// Two variants of RPF tailored to off-the-grid communication:
+///   * Local-neighborhood RPF — rarity of a packet is the number of
+///     currently-connected neighbors whose bitmap shows it missing. State
+///     expires with the encounter; nothing long-term is kept.
+///   * Encounter-based RPF — rarity is estimated over the bitmaps of the
+///     last K encountered peers (swarm-wide view at the cost of state).
+///
+/// Both prefer packets that are (a) missing locally, (b) available from at
+/// least one known holder, and (c) rarest; ties break in a deterministic
+/// shuffled order so concurrent downloaders diverge ("random first packet",
+/// Fig. 9a) or in sequential order ("same first packet").
 #pragma once
 
 #include <cstdint>
@@ -32,13 +33,19 @@ using common::TimePoint;
 
 /// A neighbor's advertised bitmap.
 struct NeighborBitmap {
-  std::string peer_id;
-  Bitmap bitmap;
-  TimePoint received{};
+  std::string peer_id;   ///< advertising peer
+  Bitmap bitmap;         ///< the peer's have-bitmap
+  TimePoint received{};  ///< when the bitmap was heard
 };
 
-enum class RpfKind { kLocalNeighborhood, kEncounterBased };
+/// Which RPF variant a FetchStrategy implements (see file comment).
+enum class RpfKind {
+  kLocalNeighborhood,  ///< rarity over currently connected neighbors
+  kEncounterBased      ///< rarity over the last K encountered peers
+};
 
+/// Interface of a fetch strategy: consumes heard bitmaps, answers "which
+/// packet should I request next".
 class FetchStrategy {
  public:
   virtual ~FetchStrategy() = default;
@@ -59,22 +66,26 @@ class FetchStrategy {
   /// True if any known holder has packet @p index.
   virtual bool known_available(size_t index) const = 0;
 
+  /// Which RPF variant this is.
   virtual RpfKind kind() const = 0;
+  /// Number of bitmaps currently informing rarity estimates.
   virtual size_t known_bitmaps() const = 0;
 
   /// Approximate state footprint in bytes (Table-I style reporting).
   virtual size_t state_bytes() const = 0;
 };
 
+/// Construction options for make_fetch_strategy.
 struct RpfOptions {
-  size_t total_packets = 0;
+  size_t total_packets = 0;  ///< bitmap width (packets in the collection)
   /// Random vs same first packet (Fig. 9a variants).
   bool random_start = true;
   /// Encounter-based: how many encountered peers' bitmaps to remember.
   size_t history_limit = 20;
-  uint64_t seed = 1;
+  uint64_t seed = 1;  ///< seed for the deterministic tie-break shuffle
 };
 
+/// Build the requested RPF variant.
 std::unique_ptr<FetchStrategy> make_fetch_strategy(RpfKind kind,
                                                    const RpfOptions& options);
 

@@ -1,5 +1,7 @@
 #include "dapes/strategies.hpp"
 
+#include "trace/trace.hpp"
+
 namespace dapes::core {
 
 namespace {
@@ -47,6 +49,8 @@ void PureForwarderStrategy::relay(Forwarder& fw, const Interest& interest) {
   Duration delay = Duration::microseconds(static_cast<int64_t>(rng_.next_below(
       static_cast<uint64_t>(params_.forward_delay_window.us) + 1)));
   Name name = interest.name();
+  DAPES_TRACE_NAMED(trace::EventType::kStratRelay, name,
+                    static_cast<uint64_t>(delay.us));
   Interest copy = interest;
   relayed_[name] = sched_.now();
   if (interest.lifetime() > max_relayed_lifetime_) {
@@ -83,10 +87,14 @@ void PureForwarderStrategy::maybe_relay(Forwarder& fw,
                                         double probability) {
   if (is_suppressed(interest.name())) {
     ++suppressions_;
+    DAPES_TRACE_NAMED(trace::EventType::kStratSuppress, interest.name(),
+                      /*reason: suppression timer=*/0);
     return;
   }
   if (!rng_.chance(probability)) {
     ++suppressions_;
+    DAPES_TRACE_NAMED(trace::EventType::kStratSuppress, interest.name(),
+                      /*reason: probability draw=*/1);
     return;
   }
   relay(fw, interest);
@@ -126,6 +134,7 @@ void PureForwarderStrategy::on_interest_timeout(Forwarder& /*fw*/,
   if (it == relayed_.end()) return;
   relayed_.erase(it);
   ++relay_timeouts_;
+  DAPES_TRACE_NAMED(trace::EventType::kStratTimeout, name);
   // Forwarded but nothing came back: the data is (currently) not
   // reachable through us — suppress this name for a while (soft state).
   suppressed_until_[name] = sched_.now() + params_.suppression;
@@ -278,12 +287,14 @@ void DapesIntermediateStrategy::after_receive_interest(Forwarder& fw,
   switch (packet_availability(name, now)) {
     case Availability::kAvailable:
       ++knowledge_forwards_;
+      DAPES_TRACE_NAMED(trace::EventType::kStratKnowledgeForward, name);
       relay(fw, interest);
       break;
     case Availability::kKnownMissing:
       // Speculate the forward would not bring data back: suppress.
       ++knowledge_suppressions_;
       ++suppressions_;
+      DAPES_TRACE_NAMED(trace::EventType::kStratKnowledgeSuppress, name);
       break;
     case Availability::kUnknown:
       maybe_relay(fw, interest, params_.forward_probability);

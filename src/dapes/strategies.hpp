@@ -1,20 +1,21 @@
-// Multi-hop forwarding strategies (paper §V).
-//
-// DAPES achieves multi-hop communication without MANET routing by letting
-// intermediate nodes decide, hop by hop, whether a received Interest is
-// likely to bring data back:
-//
-//   * PureForwarderStrategy (§V-A) — nodes with only an NFD instance.
-//     They cache overheard Data, forward Interests probabilistically after
-//     a random delay, and run a per-name suppression timer when a
-//     forwarded Interest brought nothing back.
-//
-//   * DapesIntermediateStrategy (§V-B) — nodes that understand DAPES
-//     semantics. They overhear bitmap announcements and data transmissions
-//     to build short-lived knowledge of what is available around them,
-//     then forward Interests that knowledge says are satisfiable,
-//     suppress Interests known to be unsatisfiable, and fall back to the
-//     pure-forwarder probabilistic scheme when they know nothing.
+/// @file
+/// Multi-hop forwarding strategies (paper §V).
+///
+/// DAPES achieves multi-hop communication without MANET routing by letting
+/// intermediate nodes decide, hop by hop, whether a received Interest is
+/// likely to bring data back:
+///
+///   * PureForwarderStrategy (§V-A) — nodes with only an NFD instance.
+///     They cache overheard Data, forward Interests probabilistically after
+///     a random delay, and run a per-name suppression timer when a
+///     forwarded Interest brought nothing back.
+///
+///   * DapesIntermediateStrategy (§V-B) — nodes that understand DAPES
+///     semantics. They overhear bitmap announcements and data transmissions
+///     to build short-lived knowledge of what is available around them,
+///     then forward Interests that knowledge says are satisfiable,
+///     suppress Interests known to be unsatisfiable, and fall back to the
+///     pure-forwarder probabilistic scheme when they know nothing.
 #pragma once
 
 #include <map>
@@ -36,8 +37,11 @@ using ndn::Forwarder;
 using ndn::Interest;
 using ndn::PitEntry;
 
+/// §V-A relay strategy for nodes with only an NFD instance: cache
+/// overheard Data, forward probabilistically, suppress fruitless names.
 class PureForwarderStrategy : public ndn::ForwardingStrategy {
  public:
+  /// Tuning knobs.
   struct Params {
     /// Probability of relaying an Interest heard on the air (paper
     /// default 20%; Fig. 9g/h sweep 20-60%).
@@ -66,18 +70,25 @@ class PureForwarderStrategy : public ndn::ForwardingStrategy {
     Duration relay_horizon = Duration::seconds(60.0);
   };
 
+  /// Strategy with explicit parameters.
   PureForwarderStrategy(sim::Scheduler& sched, common::Rng rng, Params params);
+  /// Strategy with the paper-default parameters.
   PureForwarderStrategy(sim::Scheduler& sched, common::Rng rng)
       : PureForwarderStrategy(sched, rng, Params{}) {}
 
+  /// Probabilistic relay + suppression for network Interests.
   void after_receive_interest(Forwarder& fw, FaceId in_face,
                               const Interest& interest,
                               PitEntry& entry) override;
+  /// Start the per-name suppression timer after a fruitless relay.
   void on_interest_timeout(Forwarder& fw, const Name& name) override;
+  /// Cache overheard Data (the point of a pure forwarder).
   bool cache_unsolicited(Forwarder& fw, FaceId in_face,
                          const ndn::Data& data) override;
 
+  /// Interests relayed so far.
   uint64_t forwards() const { return forwards_; }
+  /// Interests suppressed (timer or probability draw).
   uint64_t suppressions() const { return suppressions_; }
   /// Relayed Interests whose PIT entry expired with no data — the
   /// complement of the paper's "83% of forwarded Interests successfully
@@ -101,6 +112,7 @@ class PureForwarderStrategy : public ndn::ForwardingStrategy {
   /// Hand a network Interest to local app faces registered in the FIB.
   void deliver_local(Forwarder& fw, FaceId in_face, const Interest& interest);
 
+  /// True while @p name's suppression timer is running.
   bool is_suppressed(const Name& name) const;
 
   sim::Scheduler& sched_;
@@ -129,16 +141,20 @@ class PureForwarderStrategy : public ndn::ForwardingStrategy {
 
 /// Short-lived knowledge an intermediate DAPES node keeps per collection.
 struct CollectionKnowledge {
-  CollectionLayout layout;
+  CollectionLayout layout;  ///< bit layout from overheard announcements
   /// Freshest bitmap per overheard peer.
   std::map<std::string, std::pair<Bitmap, TimePoint>> peer_bitmaps;
-  TimePoint last_heard{};
+  TimePoint last_heard{};   ///< last time anything about it was heard
 };
 
+/// §V-B relay strategy for nodes that understand DAPES semantics:
+/// overheard bitmaps/data drive forward-vs-suppress decisions, falling
+/// back to the pure-forwarder scheme when nothing is known.
 class DapesIntermediateStrategy : public PureForwarderStrategy {
  public:
+  /// Tuning knobs on top of the pure-forwarder Params.
   struct IntermediateParams {
-    Params base{};
+    Params base{};  ///< fallback pure-forwarder behaviour
     /// How long overheard knowledge stays fresh.
     Duration knowledge_ttl = Duration::seconds(15.0);
     /// Forward probability for control Interests (discovery/bitmap) when
@@ -148,21 +164,31 @@ class DapesIntermediateStrategy : public PureForwarderStrategy {
     size_t recent_data_cap = 2048;
   };
 
+  /// Strategy with explicit parameters.
   DapesIntermediateStrategy(sim::Scheduler& sched, common::Rng rng,
                             IntermediateParams params);
+  /// Strategy with the paper-default parameters.
   DapesIntermediateStrategy(sim::Scheduler& sched, common::Rng rng)
       : DapesIntermediateStrategy(sched, rng, IntermediateParams{}) {}
 
+  /// Knowledge-driven forward/suppress, pure-forwarder fallback.
   void after_receive_interest(Forwarder& fw, FaceId in_face,
                               const Interest& interest,
                               PitEntry& entry) override;
+  /// Learn collection activity from overheard control Interests.
   void on_overhear_interest(Forwarder& fw, FaceId in_face,
                             const Interest& interest) override;
+  /// Learn bitmaps and data availability from overheard Data.
   void on_overhear_data(Forwarder& fw, FaceId in_face,
                         const ndn::Data& data) override;
 
   /// Availability of a packet name according to overheard knowledge.
-  enum class Availability { kAvailable, kKnownMissing, kUnknown };
+  enum class Availability {
+    kAvailable,     ///< a known holder has it (or it was heard recently)
+    kKnownMissing,  ///< fresh knowledge covers it and nobody has it
+    kUnknown        ///< no fresh knowledge about the collection
+  };
+  /// Classify @p packet_name against the overheard knowledge.
   Availability packet_availability(const Name& packet_name,
                                    TimePoint now) const;
 
@@ -172,7 +198,9 @@ class DapesIntermediateStrategy : public PureForwarderStrategy {
   /// Approximate knowledge footprint in bytes (Table-I reporting).
   size_t knowledge_bytes() const;
 
+  /// Interests forwarded because knowledge said satisfiable.
   uint64_t knowledge_forwards() const { return knowledge_forwards_; }
+  /// Interests suppressed because knowledge said unsatisfiable.
   uint64_t knowledge_suppressions() const { return knowledge_suppressions_; }
 
   /// Soft-state size, bounded by the TTL sweep (tests + Table-I).

@@ -1,15 +1,16 @@
-// Protocol drivers: the pluggable unit of the experiment engine.
-//
-// A ProtocolDriver runs one simulated trial of one protocol stack on the
-// shared topology. Drivers are registered under well-known string names
-// (Envoy-style: "dapes", "bithoc", "ekta", "realworld.carrier", ...) so
-// benches, sweeps and examples select protocols by name instead of linking
-// against per-protocol entry points. New protocols plug in by registering
-// a driver; nothing in the engine enumerates protocols.
-//
-// Drivers must be stateless with respect to trials: run_trial is const and
-// may be called concurrently from many threads (TrialRunner), so all trial
-// state must live inside the call.
+/// @file
+/// Protocol drivers: the pluggable unit of the experiment engine.
+///
+/// A ProtocolDriver runs one simulated trial of one protocol stack on the
+/// shared topology. Drivers are registered under well-known string names
+/// (Envoy-style: "dapes", "bithoc", "ekta", "realworld.carrier", ...) so
+/// benches, sweeps and examples select protocols by name instead of linking
+/// against per-protocol entry points. New protocols plug in by registering
+/// a driver; nothing in the engine enumerates protocols.
+///
+/// Drivers must be stateless with respect to trials: run_trial is const and
+/// may be called concurrently from many threads (TrialRunner), so all trial
+/// state must live inside the call.
 #pragma once
 
 #include <functional>
@@ -37,15 +38,22 @@ class ProtocolDriver {
 /// Well-known driver names. New drivers should follow the dotted-suffix
 /// convention for families ("realworld.carrier").
 struct ProtocolNames {
-  static constexpr const char* kDapes = "dapes";
-  static constexpr const char* kBithoc = "bithoc";
-  static constexpr const char* kEkta = "ekta";
+  static constexpr const char* kDapes = "dapes";    ///< full DAPES stack
+  static constexpr const char* kBithoc = "bithoc";  ///< BitHoc baseline
+  static constexpr const char* kEkta = "ekta";      ///< EKTA baseline
+  /// Fig. 10 data mule carrying between clusters.
   static constexpr const char* kRealWorldCarrier = "realworld.carrier";
+  /// Fig. 10 stationary repository variant.
   static constexpr const char* kRealWorldRepository = "realworld.repository";
+  /// Fig. 10 moving-peers variant.
   static constexpr const char* kRealWorldMoving = "realworld.moving";
+  /// Scale family: full stack at growing node counts.
   static constexpr const char* kScaleField = "scale.field";
+  /// Scale family: medium-only stress (no NDN stack).
   static constexpr const char* kScaleMedium = "scale.medium";
+  /// Channel family: log-distance loss sweep.
   static constexpr const char* kLossSweep = "loss.sweep";
+  /// Channel family: mixed-range radios.
   static constexpr const char* kHeteroRadio = "hetero.radio";
 };
 

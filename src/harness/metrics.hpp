@@ -1,9 +1,10 @@
-// Metric aggregation and figure/table printing.
-//
-// The paper reports the 90th percentile over ten trials; benches default
-// to fewer trials for turnaround but use the same aggregation. Output is
-// a plain aligned text table, one row per x-value, one column per series —
-// the same rows/series the paper's figures plot.
+/// @file
+/// Metric aggregation and figure/table printing.
+///
+/// The paper reports the 90th percentile over ten trials; benches default
+/// to fewer trials for turnaround but use the same aggregation. Output is
+/// a plain aligned text table, one row per x-value, one column per series —
+/// the same rows/series the paper's figures plot.
 #pragma once
 
 #include <string>
@@ -18,8 +19,8 @@ double percentile(std::vector<double> values, double p);
 
 /// One curve of a figure: label + y value per x.
 struct Series {
-  std::string label;
-  std::vector<double> y;
+  std::string label;      ///< legend label
+  std::vector<double> y;  ///< one y value per x
 };
 
 /// Print "<title>" then an aligned table: first column x, then one column
@@ -33,8 +34,9 @@ void print_figure(const std::string& title, const std::string& x_label,
 double aggregate(const std::vector<TrialResult>& trials,
                  double (*metric)(const TrialResult&), double pct = 90.0);
 
-/// Common metric extractors.
+/// Mean download time of a trial, in seconds.
 double metric_download_time(const TrialResult& r);
-double metric_transmissions_k(const TrialResult& r);  // thousands of frames
+/// Frames transmitted during a trial, in thousands.
+double metric_transmissions_k(const TrialResult& r);
 
 }  // namespace dapes::harness

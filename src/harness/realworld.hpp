@@ -1,19 +1,20 @@
-// Reproduction of the real-world feasibility study (paper §VI-E, Fig. 8,
-// Table I) as scripted simulations.
-//
-// The paper ran five MacBooks outdoors (50 m WiFi range) through three
-// scenarios; we script the same choreography with WaypointMobility:
-//   1. carrier   — A produces; D fetches from A and physically carries
-//                  the collection to B's and C's network segments;
-//   2. repository — C produces; a stationary repo downloads from C, then
-//                  A and B download from the repo simultaneously;
-//   3. moving    — A produces; A, B, C, D all move around an
-//                  infrastructure-free area with intermittent mutual
-//                  connectivity and occasional multi-hop moments.
-//
-// Table I's system-load numbers (memory, context switches, system calls,
-// page faults) are modeled proxies derived from protocol state and event
-// counts — see EXPERIMENTS.md for the exact formulas and the rationale.
+/// @file
+/// Reproduction of the real-world feasibility study (paper §VI-E, Fig. 8,
+/// Table I) as scripted simulations.
+///
+/// The paper ran five MacBooks outdoors (50 m WiFi range) through three
+/// scenarios; we script the same choreography with WaypointMobility:
+///   1. carrier   — A produces; D fetches from A and physically carries
+///                  the collection to B's and C's network segments;
+///   2. repository — C produces; a stationary repo downloads from C, then
+///                  A and B download from the repo simultaneously;
+///   3. moving    — A produces; A, B, C, D all move around an
+///                  infrastructure-free area with intermittent mutual
+///                  connectivity and occasional multi-hop moments.
+///
+/// Table I's system-load numbers (memory, context switches, system calls,
+/// page faults) are modeled proxies derived from protocol state and event
+/// counts — see EXPERIMENTS.md for the exact formulas and the rationale.
 #pragma once
 
 #include <cstdint>
@@ -23,32 +24,35 @@
 
 namespace dapes::harness {
 
+/// Legacy parameter block of the scripted Fig. 8 scenarios.
 struct RealWorldParams {
-  size_t files = 10;
+  size_t files = 10;           ///< files in the shared collection
+  /// File size (paper: 1 MB, divided by the default scale factor).
   size_t file_size_bytes = 1024 * 1024 / kDefaultScale;
-  size_t packet_size = 1024;
-  double wifi_range_m = 50.0;  // paper: MacBook WiFi range ~50 m
+  size_t packet_size = 1024;   ///< payload bytes per packet
+  double wifi_range_m = 50.0;  ///< paper: MacBook WiFi range ~50 m
+  /// Radio data rate (paper: 11 Mb/s, scaled).
   double data_rate_bps = 11e6 / kDefaultScale;
-  double loss_rate = 0.10;
-  double sim_limit_s = 1500.0;
-  core::PeerOptions peer{};
-  uint64_t seed = 1;
+  double loss_rate = 0.10;       ///< uniform frame loss
+  double sim_limit_s = 1500.0;   ///< simulated-time cap
+  core::PeerOptions peer{};      ///< per-peer application knobs
+  uint64_t seed = 1;             ///< trial RNG seed
 };
 
+/// Legacy result block of the scripted Fig. 8 scenarios (Table I row).
 struct RealWorldResult {
-  std::string scenario;
+  std::string scenario;           ///< scenario name ("carrier", ...)
   double download_time_s = 0.0;   ///< all peers complete
-  uint64_t transmissions = 0;
+  uint64_t transmissions = 0;     ///< frames put on the air
   double memory_overhead_mb = 0.0;  ///< peak modeled protocol state
   /// Peak "what is available around me" bookkeeping (bitmaps, RPF state,
   /// overheard knowledge) — the component Table I shows growing with
   /// multi-hop communication.
   double knowledge_kb = 0.0;
-  // Modeled system-load proxies (EXPERIMENTS.md documents the model).
-  uint64_t context_switches = 0;
-  uint64_t system_calls = 0;
-  uint64_t page_faults = 0;
-  double completion_fraction = 0.0;
+  uint64_t context_switches = 0;  ///< modeled proxy (EXPERIMENTS.md)
+  uint64_t system_calls = 0;      ///< modeled proxy (EXPERIMENTS.md)
+  uint64_t page_faults = 0;       ///< modeled proxy (EXPERIMENTS.md)
+  double completion_fraction = 0.0;  ///< fraction of peers that finished
 };
 
 /// Run scenario 1/2/3 of Fig. 8 as an engine trial (the ScenarioParams

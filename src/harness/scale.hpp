@@ -1,26 +1,27 @@
-// The scale.field scenario family: the Fig. 7 DAPES world swept along the
-// node-count axis instead of the WiFi-range axis.
-//
-// The paper evaluates on a 44-node field; this family grows that field to
-// hundreds or thousands of nodes while holding node *density* constant —
-// the field side scales with sqrt(n), and the four population classes
-// (stationary repositories, mobile downloaders, pure forwarders, DAPES
-// intermediates) keep their 4:20:10:10 Fig. 7 proportions. Density is the
-// quantity that keeps per-node contact rates comparable across the sweep,
-// so the axis isolates how the *system* scales rather than how crowded
-// the channel gets.
-//
-// The family is registered as protocol driver "scale.field"; callers pick
-// the mobility model (random direction / random waypoint / group) and the
-// medium implementation (spatial grid vs the brute-force reference)
-// through ScenarioParams. bench_scale is the canonical sweep over it.
-//
-// The axis reaches 10 000 nodes (a ~1.4 km field at Fig. 7 density);
-// apply_scale is closed-form in n, so nothing special happens at that
-// size — but trials there are wall-clock expensive, so bench_scale runs
-// the 10k point as a single-trial baseline on a reduced sim horizon and
-// pairs it with ScenarioParams::trial_threads (the phase-parallel trial
-// interior) rather than multi-trial aggregation.
+/// @file
+/// The scale.field scenario family: the Fig. 7 DAPES world swept along the
+/// node-count axis instead of the WiFi-range axis.
+///
+/// The paper evaluates on a 44-node field; this family grows that field to
+/// hundreds or thousands of nodes while holding node *density* constant —
+/// the field side scales with sqrt(n), and the four population classes
+/// (stationary repositories, mobile downloaders, pure forwarders, DAPES
+/// intermediates) keep their 4:20:10:10 Fig. 7 proportions. Density is the
+/// quantity that keeps per-node contact rates comparable across the sweep,
+/// so the axis isolates how the *system* scales rather than how crowded
+/// the channel gets.
+///
+/// The family is registered as protocol driver "scale.field"; callers pick
+/// the mobility model (random direction / random waypoint / group) and the
+/// medium implementation (spatial grid vs the brute-force reference)
+/// through ScenarioParams. bench_scale is the canonical sweep over it.
+///
+/// The axis reaches 10 000 nodes (a ~1.4 km field at Fig. 7 density);
+/// apply_scale is closed-form in n, so nothing special happens at that
+/// size — but trials there are wall-clock expensive, so bench_scale runs
+/// the 10k point as a single-trial baseline on a reduced sim horizon and
+/// pairs it with ScenarioParams::trial_threads (the phase-parallel trial
+/// interior) rather than multi-trial aggregation.
 #pragma once
 
 #include "harness/scenario.hpp"

@@ -1,16 +1,17 @@
-// Experiment scenarios.
-//
-// Reproduces the paper's simulation setup (§VI-B, Fig. 7): a 300 m x 300 m
-// field with 4 stationary repositories and 40 mobile nodes (random
-// direction, 2-10 m/s). 24 nodes (4 stationary + 20 mobile) download one
-// file collection; 10 mobile nodes are pure forwarders and 10 are
-// intermediate DAPES nodes. One designated downloader starts with the
-// full collection (the producer).
-//
-// Parameters default to the repository's scaled configuration: packet
-// counts and the radio data rate are both divided by kDefaultScale
-// relative to the paper, which preserves the airtime-to-contact-time
-// ratio that shapes every figure (see EXPERIMENTS.md).
+/// @file
+/// Experiment scenarios.
+///
+/// Reproduces the paper's simulation setup (§VI-B, Fig. 7): a 300 m x 300 m
+/// field with 4 stationary repositories and 40 mobile nodes (random
+/// direction, 2-10 m/s). 24 nodes (4 stationary + 20 mobile) download one
+/// file collection; 10 mobile nodes are pure forwarders and 10 are
+/// intermediate DAPES nodes. One designated downloader starts with the
+/// full collection (the producer).
+///
+/// Parameters default to the repository's scaled configuration: packet
+/// counts and the radio data rate are both divided by kDefaultScale
+/// relative to the paper, which preserves the airtime-to-contact-time
+/// ratio that shapes every figure (see EXPERIMENTS.md).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +22,7 @@
 
 #include "dapes/peer.hpp"
 #include "sim/channel.hpp"
+#include "trace/record.hpp"
 
 namespace dapes::harness {
 
@@ -32,29 +34,30 @@ inline constexpr size_t kDefaultScale = 8;
 /// random waypoint (with pause) and reference-point group mobility
 /// (convoys of group_size nodes sharing an anchor).
 enum class MobilityKind {
-  kRandomDirection,
-  kRandomWaypoint,
-  kGroup,
+  kRandomDirection,  ///< paper Fig. 7: random direction, 2-10 m/s
+  kRandomWaypoint,   ///< random waypoint with pause
+  kGroup,            ///< reference-point group mobility (convoys)
 };
 
+/// Every knob of a simulated trial. Trials are a pure function of this
+/// struct (including the seed), which is what makes sweeps replayable.
 struct ScenarioParams {
-  // --- field & population (paper Fig. 7) ---
-  double field_m = 300.0;
-  int stationary_downloaders = 4;
-  int mobile_downloaders = 20;
-  int pure_forwarders = 10;
-  int dapes_intermediates = 10;
+  double field_m = 300.0;          ///< square field side (paper Fig. 7)
+  int stationary_downloaders = 4;  ///< repositories (Fig. 7 population)
+  int mobile_downloaders = 20;     ///< mobile nodes that download
+  int pure_forwarders = 10;        ///< §V-A NDN-only relays
+  int dapes_intermediates = 10;    ///< §V-B DAPES-aware relays
 
-  // --- mobility of the mobile nodes ---
+  /// Mobility model of the mobile nodes.
   MobilityKind mobility = MobilityKind::kRandomDirection;
-  double waypoint_pause_s = 2.0;  // RandomWaypoint pause at each target
-  double group_radius_m = 30.0;   // max member offset from the group anchor
-  int group_size = 5;             // members per shared anchor
+  double waypoint_pause_s = 2.0;  ///< RandomWaypoint pause at each target
+  double group_radius_m = 30.0;   ///< max member offset from the group anchor
+  int group_size = 5;             ///< members per shared anchor
 
-  // --- radio (paper: 802.11b, 11 Mbps, 10% loss) ---
-  double wifi_range_m = 60.0;
+  double wifi_range_m = 60.0;     ///< radio range (paper: 802.11b)
+  /// Radio data rate (paper: 11 Mb/s, divided by the default scale).
   double data_rate_bps = 11e6 / kDefaultScale;
-  double loss_rate = 0.10;
+  double loss_rate = 0.10;        ///< uniform frame loss (paper: 10%)
 
   // --- channel / PHY model (see DESIGN.md "Channel & PHY models") ---
   /// Channel model + parameters; defaults to the paper's unit-disk
@@ -72,18 +75,18 @@ struct ScenarioParams {
   /// half-range IoT-class radios next to full WiFi).
   double hetero_range_factor = 0.5;
 
-  // --- workload (paper default: 10 files x 1 MB, 1 KB packets) ---
-  size_t files = 10;
+  size_t files = 10;  ///< files in the collection (paper default: 10)
+  /// File size (paper: 1 MB, divided by the default scale).
   size_t file_size_bytes = 1024 * 1024 / kDefaultScale;
-  size_t packet_size = 1024;
+  size_t packet_size = 1024;  ///< payload bytes per packet
+  /// Integrity encoding of the collection metadata (§IV-C).
   core::MetadataFormat metadata_format = core::MetadataFormat::kPacketDigest;
 
-  // --- peer configuration applied to every downloader ---
+  /// Peer configuration applied to every downloader.
   core::PeerOptions peer{};
 
-  // --- run control ---
-  double sim_limit_s = 3000.0;
-  uint64_t seed = 1;
+  double sim_limit_s = 3000.0;  ///< simulated-time cap per trial
+  uint64_t seed = 1;            ///< trial RNG seed
   /// Run the medium's retained all-pairs reference instead of the
   /// spatial grid (equivalence tests, bench_scale's speedup baseline).
   bool brute_force_medium = false;
@@ -95,6 +98,13 @@ struct ScenarioParams {
   /// trial_threads; see EXPERIMENTS.md). Requires the grid medium
   /// (incompatible with brute_force_medium).
   int trial_threads = 0;
+  /// Structured event tracing (`--trace <sink>[:<path>]`). Disabled by
+  /// default (empty sink): no records, no buffers, and the instrumented
+  /// hot paths pay one thread-local null check per potential event.
+  /// When enabled, the merged trace is bit-identical for any `--jobs` x
+  /// `trial_threads` combination; multi-trial runners suffix the output
+  /// path per trial/cell so concurrent trials never share a file.
+  trace::TraceConfig trace;
 };
 
 /// Outcome of one simulated trial.
@@ -144,12 +154,14 @@ TrialResult run_bithoc_trial(const ScenarioParams& params);
 /// the paper's second IP baseline (Fig. 10).
 TrialResult run_ekta_trial(const ScenarioParams& params);
 
-// Multi-trial convenience wrappers over the experiment engine (driver
-// registry + TrialRunner, see driver.hpp / trial_runner.hpp). Trial i runs
-// with seed common::derive_seed(params.seed, i) on a single thread; use
-// TrialRunner directly to fan trials out over a thread pool.
+/// Multi-trial convenience wrapper over the experiment engine (driver
+/// registry + TrialRunner, see driver.hpp / trial_runner.hpp). Trial i
+/// runs with seed common::derive_seed(params.seed, i) on a single thread;
+/// use TrialRunner directly to fan trials out over a thread pool.
 std::vector<TrialResult> run_dapes_trials(ScenarioParams params, int trials);
+/// Bithoc counterpart of run_dapes_trials.
 std::vector<TrialResult> run_bithoc_trials(ScenarioParams params, int trials);
+/// Ekta counterpart of run_dapes_trials.
 std::vector<TrialResult> run_ekta_trials(ScenarioParams params, int trials);
 
 }  // namespace dapes::harness

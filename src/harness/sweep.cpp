@@ -46,6 +46,9 @@ SweepResult run_sweep(const SweepSpec& spec, const TrialRunner& runner) {
     }
     p.seed = common::derive_seed(common::derive_seed(spec.base.seed, cell),
                                  trial);
+    // Per-task trace file, named by grid position (never by thread).
+    p.trace = trace::with_path_suffix(
+        p.trace, ".c" + std::to_string(cell) + ".t" + std::to_string(trial));
     raw[cell][trial] = drivers[series_idx]->run_trial(p);
   });
 

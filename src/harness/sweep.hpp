@@ -1,14 +1,15 @@
-// Declarative parameter sweeps over protocol drivers.
-//
-// Every figure and table in the paper is the same experiment shape: a grid
-// of (series x axis-value) cells, each cell N independent trials of one
-// protocol driver, each metric aggregated across trials at a percentile.
-// SweepSpec captures that shape declaratively; run_sweep executes the whole
-// grid — every (cell, trial) pair fans out over the TrialRunner pool with a
-// seed derived from (base seed, cell index, trial index), so output is
-// bit-identical for any --jobs value; write_sweep renders text, CSV or JSON.
-//
-// The bench_fig* binaries are thin SweepSpec builders over this engine.
+/// @file
+/// Declarative parameter sweeps over protocol drivers.
+///
+/// Every figure and table in the paper is the same experiment shape: a grid
+/// of (series x axis-value) cells, each cell N independent trials of one
+/// protocol driver, each metric aggregated across trials at a percentile.
+/// SweepSpec captures that shape declaratively; run_sweep executes the whole
+/// grid — every (cell, trial) pair fans out over the TrialRunner pool with a
+/// seed derived from (base seed, cell index, trial index), so output is
+/// bit-identical for any --jobs value; write_sweep renders text, CSV or JSON.
+///
+/// The bench_fig* binaries are thin SweepSpec builders over this engine.
 #pragma once
 
 #include <cstdio>
@@ -23,7 +24,12 @@
 
 namespace dapes::harness {
 
-enum class OutputFormat { kText, kCsv, kJson };
+/// Rendering of a SweepResult.
+enum class OutputFormat {
+  kText,  ///< aligned human-readable table
+  kCsv,   ///< long-form CSV (metric, series, x, value)
+  kJson   ///< nested JSON object
+};
 
 /// Parses "text" / "csv" / "json"; nullopt otherwise.
 std::optional<OutputFormat> parse_output_format(std::string_view s);
@@ -31,16 +37,18 @@ std::optional<OutputFormat> parse_output_format(std::string_view s);
 /// One curve: a protocol driver (registry name) plus parameter tweaks
 /// applied after the axis value.
 struct SweepSeries {
-  std::string label;
-  std::string driver;
-  std::function<void(ScenarioParams&)> configure;  // optional
+  std::string label;   ///< legend label
+  std::string driver;  ///< protocol-driver registry name
+  /// Optional parameter tweaks applied after the axis value.
+  std::function<void(ScenarioParams&)> configure;
 };
 
 /// The x axis: values plus how each value maps onto the params. The
 /// default applies x as the WiFi range (the paper's usual axis).
 struct SweepAxis {
-  std::string label = "range_m";
-  std::vector<double> values;
+  std::string label = "range_m";  ///< axis label in the output
+  std::vector<double> values;     ///< swept x values
+  /// How an x value maps onto the params (default: WiFi range).
   std::function<void(ScenarioParams&, double)> apply =
       [](ScenarioParams& p, double x) { p.wifi_range_m = x; };
 };
@@ -48,28 +56,31 @@ struct SweepAxis {
 /// One reported metric: a TrialResult extractor plus the cross-trial
 /// aggregation (percentile in [0,100], or negative for the mean).
 struct SweepMetric {
-  std::string label;
+  std::string label;  ///< metric label in the output
+  /// Extracts the metric from one trial's result.
   std::function<double(const TrialResult&)> value;
-  double percentile = 90.0;  // the paper reports p90 over trials
+  double percentile = 90.0;  ///< the paper reports p90 over trials
 };
 
+/// The whole grid, declaratively: base params, axis, series, metrics.
 struct SweepSpec {
-  std::string title;
-  ScenarioParams base;
-  SweepAxis axis;
-  std::vector<SweepSeries> series;
-  std::vector<SweepMetric> metrics;
-  std::string y_unit;
-  int trials = 2;
+  std::string title;                 ///< figure/table title
+  ScenarioParams base;               ///< params before axis/series tweaks
+  SweepAxis axis;                    ///< the x axis
+  std::vector<SweepSeries> series;   ///< one curve per entry
+  std::vector<SweepMetric> metrics;  ///< reported metrics
+  std::string y_unit;                ///< y-axis unit label
+  int trials = 2;                    ///< trials per cell
 };
 
+/// The executed grid, ready to render.
 struct SweepResult {
-  std::string title;
-  std::string x_label;
-  std::string y_unit;
-  std::vector<double> xs;
-  std::vector<std::string> series_labels;
-  std::vector<std::string> metric_labels;
+  std::string title;    ///< figure/table title
+  std::string x_label;  ///< axis label
+  std::string y_unit;   ///< y-axis unit label
+  std::vector<double> xs;                   ///< swept x values
+  std::vector<std::string> series_labels;   ///< legend labels
+  std::vector<std::string> metric_labels;   ///< metric labels
   /// values[metric][series][x], aggregated across trials.
   std::vector<std::vector<std::vector<double>>> values;
 };
@@ -87,14 +98,21 @@ double aggregate_metric(const SweepMetric& metric, std::vector<double> samples);
 void write_sweep(const SweepResult& result, OutputFormat format,
                  std::FILE* out);
 
-// Common metrics (EXPERIMENTS.md documents units and Table I proxies).
+/// Download time in seconds (EXPERIMENTS.md documents units).
 SweepMetric download_time_metric(double pct = 90.0);
+/// Frames transmitted, in thousands.
 SweepMetric transmissions_k_metric(double pct = 90.0);
-SweepMetric completion_metric();  // mean fraction
+/// Mean fraction of downloaders that completed.
+SweepMetric completion_metric();
+/// Peak modeled protocol state, MB (Table I proxy).
 SweepMetric memory_mb_metric(double pct = 90.0);
+/// Peak availability-knowledge bookkeeping, KB (Table I proxy).
 SweepMetric knowledge_kb_metric(double pct = 90.0);
+/// Modeled context switches (Table I proxy).
 SweepMetric context_switches_metric(double pct = 90.0);
+/// Modeled system calls (Table I proxy).
 SweepMetric system_calls_metric(double pct = 90.0);
+/// Modeled page faults (Table I proxy).
 SweepMetric page_faults_metric(double pct = 90.0);
 /// Wall-clock seconds per trial (mean) — non-deterministic; bench_scale's
 /// speedup metric, never used where byte-identical output is asserted.

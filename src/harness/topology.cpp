@@ -41,6 +41,27 @@ Topology::Topology(const ScenarioParams& params, uint64_t seed,
   collection = Collection::create_synthetic(
       ndn::Name(collection_name), std::move(files), params.packet_size,
       params.metadata_format, producer_key);
+
+  if (params.trace.enabled()) {
+    // Installed before any node or route exists so setup-time table
+    // events are captured too. The clock reads this trial's scheduler —
+    // trace/ has no sim/ dependency, so time is injected.
+    sim::Scheduler* clock_sched = &sched;
+    tracer = std::make_shared<trace::Tracer>(
+        params.trace, [clock_sched] { return clock_sched->now().us; });
+    trace_scope = std::make_unique<trace::TrialScope>(tracer.get());
+  }
+}
+
+Topology::~Topology() {
+  if (tracer) {
+    try {
+      tracer->flush();
+    } catch (...) {
+      // Destructor fallback only; run_to_completion flushes (and
+      // propagates sink errors) on the normal path.
+    }
+  }
 }
 
 sim::MobilityModel* Topology::mobile(const ScenarioParams& params) {
@@ -132,8 +153,13 @@ void apply_hetero_radios(const ScenarioParams& params, sim::Medium& medium) {
 }
 
 double CompletionTracker::mean_time(double limit_s) const {
+  // Under the phase-parallel engine the order of `times` depends on lane
+  // timing; FP addition is not associative, so sum in sorted order to
+  // keep the metric bit-identical across --trial-threads values.
+  std::vector<double> sorted = times;
+  std::sort(sorted.begin(), sorted.end());
   double sum = 0.0;
-  for (double t : times) sum += t;
+  for (double t : sorted) sum += t;
   sum += static_cast<double>(expected - completed) * limit_s;
   return sum / std::max(1, expected);
 }
@@ -149,6 +175,13 @@ TrialResult run_to_completion(const ScenarioParams& params, Topology& topo,
                               CompletionTracker& tracker,
                               const std::function<StateSample()>& sample) {
   TrialResult result;
+  if (topo.tracer) {
+    // Every node is registered by now and no phase can be open: size the
+    // per-node trace slots once, so workers never see the table grow.
+    for (sim::NodeId n = 0; n < topo.medium->node_count(); ++n) {
+      topo.tracer->ensure_node(n);
+    }
+  }
   const auto wall_start = std::chrono::steady_clock::now();
   const TimePoint limit{static_cast<int64_t>(params.sim_limit_s * 1e6)};
   const Duration chunk = Duration::seconds(5.0);
@@ -186,6 +219,10 @@ TrialResult run_to_completion(const ScenarioParams& params, Topology& topo,
   result.context_switches = frames + events / 8;
   result.page_faults =
       static_cast<uint64_t>(result.peak_state_bytes / 4096) + frames / 64;
+
+  // Flush here (not only in ~Topology) so sink errors propagate to the
+  // driver instead of being swallowed by a destructor.
+  if (topo.tracer) topo.tracer->flush();
   return result;
 }
 

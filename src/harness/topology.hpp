@@ -1,19 +1,21 @@
-// Shared trial scaffolding for the protocol drivers.
-//
-// Every driver (DAPES, Bithoc, Ekta, the real-world scripts) builds the
-// same world: a seeded Rng, a Scheduler, a Medium, one signed synthetic
-// file collection, and a set of mobility models. This file owns that
-// construction plus the common run-to-completion loop so the drivers only
-// differ in the nodes they place on top.
-//
-// RNG draw order matters: Topology forks the medium's stream first, then
-// generates the producer key, then builds the collection, exactly as the
-// pre-refactor per-protocol setups did, so trial results for a given seed
-// are unchanged.
+/// @file
+/// Shared trial scaffolding for the protocol drivers.
+///
+/// Every driver (DAPES, Bithoc, Ekta, the real-world scripts) builds the
+/// same world: a seeded Rng, a Scheduler, a Medium, one signed synthetic
+/// file collection, and a set of mobility models. This file owns that
+/// construction plus the common run-to-completion loop so the drivers only
+/// differ in the nodes they place on top.
+///
+/// RNG draw order matters: Topology forks the medium's stream first, then
+/// generates the producer key, then builds the collection, exactly as the
+/// pre-refactor per-protocol setups did, so trial results for a given seed
+/// are unchanged.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,24 +24,39 @@
 #include "sim/medium.hpp"
 #include "sim/mobility.hpp"
 #include "sim/scheduler.hpp"
+#include "trace/trace.hpp"
 
 namespace dapes::harness {
 
 /// The world every trial shares: scheduler, medium, collection, mobility.
 struct Topology {
-  common::Rng rng;
-  sim::Scheduler sched;
-  std::unique_ptr<sim::Medium> medium;
-  crypto::KeyChain keys;
-  crypto::PrivateKey producer_key;
-  std::shared_ptr<core::Collection> collection;
+  common::Rng rng;        ///< the trial's root RNG stream
+  sim::Scheduler sched;   ///< the trial's event loop
+  std::unique_ptr<sim::Medium> medium;  ///< the shared broadcast medium
+  crypto::KeyChain keys;               ///< trust anchors for all peers
+  crypto::PrivateKey producer_key;     ///< signs the shared collection
+  std::shared_ptr<core::Collection> collection;  ///< the shared workload
+  /// Owned mobility models, one per created node.
   std::vector<std::unique_ptr<sim::MobilityModel>> mobility;
+  /// The trial's event tracer, built from params.trace when enabled
+  /// (null otherwise) and installed into this thread for the topology's
+  /// lifetime via trace_scope below.
+  std::shared_ptr<trace::Tracer> tracer;
+  /// Thread-local tracer installation; declared after tracer so it is
+  /// torn down first.
+  std::unique_ptr<trace::TrialScope> trace_scope;
 
   /// Seeds the rng with `seed`, builds the medium from the radio params,
-  /// and creates the signed synthetic collection named `collection_name`.
+  /// creates the signed synthetic collection named `collection_name`,
+  /// and — when params.trace is enabled — builds and installs the trial
+  /// tracer.
   Topology(const ScenarioParams& params, uint64_t seed,
            const std::string& collection_name, const std::string& key_name,
            const std::string& file_prefix);
+
+  /// Flushes the tracer if run_to_completion has not already (errors are
+  /// swallowed: destructors must not throw).
+  ~Topology();
 
   /// Mobility for one mobile node, per params.mobility: random direction
   /// (the Fig. 7 default), random waypoint, or group (every group_size-th
@@ -67,12 +84,22 @@ struct Topology {
 };
 
 /// Completion bookkeeping shared by all drivers.
+///
+/// `record` is the one piece of cross-node shared state the completion
+/// callbacks mutate, and under the phase-parallel trial engine two
+/// downloaders can finish inside the same fan-out phase on different
+/// lanes — so it takes a mutex. Every consumer (count, mean, max) is
+/// order-independent, so lane timing cannot leak into results. The
+/// readers run on the coordinator between events (the executor's phase
+/// join orders them after every `record`), so they stay lock-free.
 struct CompletionTracker {
-  int expected = 0;
-  int completed = 0;
-  std::vector<double> times;
+  int expected = 0;           ///< downloaders that should finish
+  int completed = 0;          ///< downloaders that have finished
+  std::vector<double> times;  ///< completion times, seconds
 
+  /// Record one downloader finishing at time @p t. Thread-safe.
   void record(double t) {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++completed;
     times.push_back(t);
   }
@@ -84,7 +111,11 @@ struct CompletionTracker {
   /// Latest completion, or the limit if anyone never finished (Table I).
   double last_time(double limit_s) const;
 
+  /// True once every expected downloader finished.
   bool done() const { return completed >= expected; }
+
+ private:
+  std::mutex mutex_;  ///< serializes `record` across fan-out lanes
 };
 
 /// Apply the hetero.radio mixed-range radios to an already-populated
@@ -98,8 +129,8 @@ void apply_hetero_radios(const ScenarioParams& params, sim::Medium& medium);
 
 /// Per-sample state snapshot a driver reports back to the run loop.
 struct StateSample {
-  size_t state_bytes = 0;
-  size_t knowledge_bytes = 0;
+  size_t state_bytes = 0;      ///< total modeled protocol state, bytes
+  size_t knowledge_bytes = 0;  ///< availability-knowledge subset, bytes
 };
 
 /// Drive the scheduler in 5 s chunks until the limit or full completion,

@@ -61,6 +61,9 @@ std::vector<TrialResult> TrialRunner::run(const ProtocolDriver& driver,
   for_each_index(static_cast<size_t>(trials), [&](size_t i) {
     ScenarioParams p = params;
     p.seed = common::derive_seed(params.seed, i);
+    // Per-trial trace file: suffix by trial index only, so concurrent
+    // trials never share a file and names are independent of --jobs.
+    p.trace = trace::with_path_suffix(p.trace, ".t" + std::to_string(i));
     results[i] = driver.run_trial(p);
   });
   return results;

@@ -1,19 +1,20 @@
-// Parallel trial execution.
-//
-// Every trial owns its own Scheduler/Medium/Rng, so N trials are
-// embarrassingly parallel. TrialRunner fans a batch of trials out over a
-// std::thread pool; trial i always runs with seed
-// common::derive_seed(params.seed, i), so the result vector is bit-identical
-// regardless of thread count or scheduling — `--jobs 8` reproduces
-// `--jobs 1` exactly (see EXPERIMENTS.md "Seed derivation").
-//
-// This axis composes with the *intra*-trial one: each trial may itself run
-// the medium's phase-parallel delivery engine (ScenarioParams::
-// trial_threads, its own per-trial worker pool), so total thread use is
-// roughly jobs x max(1, trial_threads). Both axes are bit-identical for
-// any value, so any combination reproduces `--jobs 1 --trial-threads 0`.
-// Prefer --jobs for many trials (perfect scaling) and --trial-threads for
-// a few huge trials, where per-trial latency is the bottleneck.
+/// @file
+/// Parallel trial execution.
+///
+/// Every trial owns its own Scheduler/Medium/Rng, so N trials are
+/// embarrassingly parallel. TrialRunner fans a batch of trials out over a
+/// std::thread pool; trial i always runs with seed
+/// common::derive_seed(params.seed, i), so the result vector is bit-identical
+/// regardless of thread count or scheduling — `--jobs 8` reproduces
+/// `--jobs 1` exactly (see EXPERIMENTS.md "Seed derivation").
+///
+/// This axis composes with the *intra*-trial one: each trial may itself run
+/// the medium's phase-parallel delivery engine (ScenarioParams::
+/// trial_threads, its own per-trial worker pool), so total thread use is
+/// roughly jobs x max(1, trial_threads). Both axes are bit-identical for
+/// any value, so any combination reproduces `--jobs 1 --trial-threads 0`.
+/// Prefer --jobs for many trials (perfect scaling) and --trial-threads for
+/// a few huge trials, where per-trial latency is the bottleneck.
 #pragma once
 
 #include <functional>
@@ -24,6 +25,8 @@
 
 namespace dapes::harness {
 
+/// Fans independent trials out over a std::thread pool; results are
+/// bit-identical for any thread count (see file comment).
 class TrialRunner {
  public:
   /// jobs <= 0 means "all hardware threads".

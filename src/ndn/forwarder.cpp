@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace dapes::ndn {
 
@@ -61,6 +62,7 @@ void Forwarder::send_data_to(FaceId out_face, const Data& data) {
 }
 
 void Forwarder::on_incoming_interest(FaceId in_face, Interest interest) {
+  trace::NodeScope trace_scope(trace_node_);
   ++stats_.interests_in;
   Face* in = face(in_face);
   const bool from_network = in != nullptr && !in->is_local();
@@ -80,6 +82,8 @@ void Forwarder::on_incoming_interest(FaceId in_face, Interest interest) {
   // Loop detection by (name, nonce).
   if (pit_.has_nonce(interest.name(), interest.nonce())) {
     ++stats_.loops_dropped;
+    DAPES_TRACE_NAMED(trace::EventType::kPitLoopDrop, interest.name(),
+                      static_cast<uint64_t>(interest.nonce()));
     return;
   }
 
@@ -97,6 +101,7 @@ void Forwarder::on_incoming_interest(FaceId in_face, Interest interest) {
   PitEntry* existing = pit_.find(interest.name());
   if (existing != nullptr) {
     ++stats_.pit_aggregated;
+    DAPES_TRACE_NAMED(trace::EventType::kPitAggregate, interest.name());
     existing->nonces.insert(interest.nonce());
     if (std::find(existing->in_faces.begin(), existing->in_faces.end(),
                   in_face) == existing->in_faces.end()) {
@@ -118,6 +123,7 @@ void Forwarder::on_incoming_interest(FaceId in_face, Interest interest) {
 }
 
 void Forwarder::on_incoming_data(FaceId in_face, const Data& data) {
+  trace::NodeScope trace_scope(trace_node_);
   ++stats_.data_in;
   Face* in = face(in_face);
   const bool from_network = in != nullptr && !in->is_local();
@@ -161,6 +167,7 @@ void Forwarder::on_incoming_data(FaceId in_face, const Data& data) {
     for (uint32_t nonce : entry->nonces) {
       pit_.record_dead_nonce(name, nonce);
     }
+    DAPES_TRACE_NAMED(trace::EventType::kPitSatisfy, name);
     sched_.cancel(entry->expiry_event);
     pit_.erase(name);
   }
@@ -171,9 +178,11 @@ void Forwarder::on_incoming_data(FaceId in_face, const Data& data) {
 }
 
 void Forwarder::on_pit_expiry(Name name) {
+  trace::NodeScope trace_scope(trace_node_);
   PitEntry* entry = pit_.find(name);
   if (entry == nullptr) return;
   ++stats_.pit_timeouts;
+  DAPES_TRACE_NAMED(trace::EventType::kPitExpire, name);
   for (uint32_t nonce : entry->nonces) {
     pit_.record_dead_nonce(name, nonce);
   }

@@ -1,5 +1,7 @@
 #include "ndn/tables.hpp"
 
+#include "trace/trace.hpp"
+
 namespace dapes::ndn {
 
 // ------------------------------------------------------------ ContentStore
@@ -55,12 +57,19 @@ bool ContentStore::refresh(const Name& name, TimePoint expires) {
 
 void ContentStore::insert(DataPtr data, TimePoint now) {
   if (!data) return;
-  if (refresh(data->name(), now + data->freshness())) return;
+  const uint64_t content_bytes = data->content().size();
+  if (refresh(data->name(), now + data->freshness())) {
+    DAPES_TRACE_NAMED(trace::EventType::kCsInsert, data->name(),
+                      content_bytes, /*refreshed=*/1);
+    return;
+  }
   if (size_ >= capacity_) {
     evict_one();
   }
   TimePoint expires = now + data->freshness();
   NameTree::Entry* e = tree_->lookup(data->name());
+  DAPES_TRACE_NAMED(trace::EventType::kCsInsert, data->name(), content_bytes,
+                    /*refreshed=*/0);
   e->cs = std::make_unique<NameTree::CsState>();
   content_bytes_ += data->content().size();
   e->cs->data = std::move(data);
@@ -74,12 +83,18 @@ DataPtr ContentStore::find(const Name& name, bool can_be_prefix,
                            TimePoint now) {
   if (!can_be_prefix) {
     NameTree::Entry* e = tree_->find_exact(name);
-    if (e == nullptr || e->cs == nullptr) return nullptr;
+    if (e == nullptr || e->cs == nullptr) {
+      DAPES_TRACE_NAMED(trace::EventType::kCsMiss, name);
+      return nullptr;
+    }
     if (e->cs->expires <= now) {
+      DAPES_TRACE_NAMED(trace::EventType::kCsExpire, name);
       erase(e);
+      DAPES_TRACE_NAMED(trace::EventType::kCsMiss, name);
       return nullptr;
     }
     touch(e);
+    DAPES_TRACE_NAMED(trace::EventType::kCsHit, name);
     return e->cs->data;
   }
 
@@ -90,12 +105,22 @@ DataPtr ContentStore::find(const Name& name, bool can_be_prefix,
   // scanning. (Eviction is deferred until the scan ends so tree cleanup
   // cannot disturb the traversal — the same entries end up erased.)
   NameTree::Entry* base = tree_->find_exact(name);
-  if (base == nullptr || base->cs_in_subtree == 0) return nullptr;
+  if (base == nullptr || base->cs_in_subtree == 0) {
+    DAPES_TRACE_NAMED(trace::EventType::kCsMiss, name);
+    return nullptr;
+  }
   std::vector<NameTree::Entry*> expired;
   NameTree::Entry* hit = scan_prefix(base, now, expired);
-  for (NameTree::Entry* e : expired) erase(e);
-  if (hit == nullptr) return nullptr;
+  for (NameTree::Entry* e : expired) {
+    DAPES_TRACE_NAMED(trace::EventType::kCsExpire, e->cs->data->name());
+    erase(e);
+  }
+  if (hit == nullptr) {
+    DAPES_TRACE_NAMED(trace::EventType::kCsMiss, name);
+    return nullptr;
+  }
   touch(hit);
+  DAPES_TRACE_NAMED(trace::EventType::kCsHit, hit->cs->data->name());
   return hit->cs->data;
 }
 
@@ -117,6 +142,8 @@ NameTree::Entry* ContentStore::scan_prefix(
 
 void ContentStore::evict_one() {
   if (lru_head_ == nullptr) return;
+  DAPES_TRACE_NAMED(trace::EventType::kCsEvict,
+                    lru_head_->cs->data->name());
   erase(lru_head_);
 }
 
@@ -152,6 +179,7 @@ PitEntry& Pit::insert(const Name& name) {
     e->pit = std::make_unique<PitEntry>();
     e->pit->name = name;
     ++size_;
+    DAPES_TRACE_NAMED(trace::EventType::kPitInsert, name);
   }
   return *e->pit;
 }
@@ -198,12 +226,16 @@ void Fib::add_route(const Name& prefix, FaceId face) {
     ++size_;
   }
   e->fib->faces.insert(face);
+  DAPES_TRACE_NAMED(trace::EventType::kFibAdd, prefix,
+                    static_cast<uint64_t>(face));
 }
 
 void Fib::remove_route(const Name& prefix, FaceId face) {
   NameTree::Entry* e = tree_->find_exact(prefix);
   if (e == nullptr || e->fib == nullptr) return;
   e->fib->faces.erase(face);
+  DAPES_TRACE_NAMED(trace::EventType::kFibRemove, prefix,
+                    static_cast<uint64_t>(face));
   if (e->fib->faces.empty()) {
     e->fib.reset();
     --size_;
@@ -217,9 +249,12 @@ std::vector<FaceId> Fib::lookup(const Name& name) const {
   for (size_t n = name.size() + 1; n-- > 0;) {
     NameTree::Entry* e = tree_->find_prefix(name, n);
     if (e != nullptr && e->fib != nullptr && !e->fib->faces.empty()) {
+      DAPES_TRACE_NAMED(trace::EventType::kFibHit, name,
+                        static_cast<uint64_t>(n));
       return std::vector<FaceId>(e->fib->faces.begin(), e->fib->faces.end());
     }
   }
+  DAPES_TRACE_NAMED(trace::EventType::kFibMiss, name);
   return {};
 }
 

@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace dapes::sim {
 
 namespace {
@@ -201,6 +203,8 @@ void Medium::transmit(FramePtr frame, SendCompleteCallback on_complete) {
   ++stats_.tx_by_kind[frame->kind];
 
   uint64_t id = next_tx_id_++;
+  DAPES_TRACE_EVENT(trace::EventType::kMediumTx, sender, id,
+                    frame->payload.size());
   ActiveTx tx;
   tx.id = id;
   tx.frame = frame;
@@ -255,7 +259,11 @@ void Medium::transmit(FramePtr frame, SendCompleteCallback on_complete) {
     // deliver_batch can claim this delivery into its batch.
     sched_.schedule_tagged(end, id, [this, id] { deliver_batch(id); });
   } else {
-    sched_.schedule_at(end, [this, id] { deliver(id); });
+    // Also tagged in serial mode (inert for execution: the run loop
+    // treats tagged entries like any other) so delivery events carry the
+    // same no-fire-record rule in both engines and trace content stays
+    // mode-invariant.
+    sched_.schedule_tagged(end, id, [this, id] { deliver(id); });
   }
 }
 
@@ -311,6 +319,8 @@ void Medium::deliver(uint64_t tx_id) {
   active_.erase(it);
   if (!params_.brute_force) tx_grid_.erase(tx.id, tx.sender_pos);
 
+  DAPES_TRACE_EVENT(trace::EventType::kMediumDeliver, tx.frame->sender,
+                    tx.id);
   TxReport report;
   if (params_.brute_force) {
     const NodeId sender = tx.frame->sender;
@@ -327,7 +337,13 @@ void Medium::deliver(uint64_t tx_id) {
   }
 
   if (report.collided_anywhere()) ++stats_.collided_frames;
-  if (tx.on_complete) tx.on_complete(report);
+  if (tx.on_complete) {
+    // Node context for the sender's completion handler, mirroring the
+    // phase-parallel engine where the completion item runs in the
+    // sender's chain.
+    trace::NodeScope scope(tx.frame->sender);
+    tx.on_complete(report);
+  }
 }
 
 void Medium::deliver_batch(uint64_t first_id) {
@@ -359,6 +375,8 @@ void Medium::deliver_batch(uint64_t first_id) {
     active_.erase(it);
     tx_grid_.erase(tx.id, tx.sender_pos);
 
+    DAPES_TRACE_EVENT(trace::EventType::kMediumDeliver, tx.frame->sender,
+                      tx.id);
     TxReport report;
     for (const auto& [receiver, rp] : tx.receivers) {
       if (decide_one(tx, receiver, rp, report) &&
@@ -417,8 +435,15 @@ void Medium::deliver_batch(uint64_t first_id) {
   // shared-stream draw inside the phase into an exception.
   sched_.begin_phase(items.size());
   fanout_active_.store(true, std::memory_order_relaxed);
+  // Worker threads have no tracer installed; propagate this trial's and
+  // enter the chain node's context so every emission inside the phase
+  // lands in that node's slot — the same slot the serial engine's
+  // NodeScope in deliver_one / the completion path would pick.
+  trace::Tracer* tracer = trace::active();
   try {
     executor_->run(chains.size(), [&](size_t ci) {
+      trace::TrialScope trace_trial(tracer);
+      trace::NodeScope trace_node(chains[ci].node);
       for (uint32_t slot : chains[ci].items) {
         sched_.bind_phase_slot(slot);
         items[slot].run();
@@ -438,6 +463,9 @@ void Medium::deliver_one(const ActiveTx& tx, NodeId receiver,
                          Vec2 receiver_pos, TxReport& report) {
   if (decide_one(tx, receiver, receiver_pos, report) &&
       nodes_[receiver].on_receive) {
+    // Node context for the protocol callback, mirroring the
+    // phase-parallel engine's per-chain NodeScope.
+    trace::NodeScope scope(receiver);
     nodes_[receiver].on_receive(tx.frame, receiver);
   }
 }
@@ -451,12 +479,14 @@ bool Medium::decide_one(const ActiveTx& tx, NodeId receiver,
   // dominates that interferer. The survive decision is a fold of a pure
   // per-interferer predicate, so collider order cannot matter.
   bool collided = false;
+  uint64_t captured_interferers = 0;
   const double own_dist = distance(receiver_pos, tx.sender_pos);
   for (const Collider& c : tx.colliders) {
     if (!within_range(receiver_pos, c.pos, c.coverage_m)) continue;
     double interferer_dist = distance(receiver_pos, c.pos);
     if (channel_->captured(own_dist, tx.range_m, interferer_dist,
                            c.range_m)) {
+      ++captured_interferers;
       continue;  // captured: our signal dominates this interferer
     }
     collided = true;
@@ -465,7 +495,13 @@ bool Medium::decide_one(const ActiveTx& tx, NodeId receiver,
   if (collided) {
     ++stats_.collision_drops;
     ++report.collided;
+    DAPES_TRACE_EVENT(trace::EventType::kMediumDropCollision, receiver,
+                      tx.id);
     return false;
+  }
+  if (captured_interferers > 0) {
+    DAPES_TRACE_EVENT(trace::EventType::kMediumCapture, receiver, tx.id,
+                      captured_interferers);
   }
 
   // Reception: the deterministic reference draws from the medium's
@@ -499,10 +535,12 @@ bool Medium::decide_one(const ActiveTx& tx, NodeId receiver,
   if (!delivered) {
     ++stats_.losses;
     ++report.lost;
+    DAPES_TRACE_EVENT(trace::EventType::kMediumDropLoss, receiver, tx.id);
     return false;
   }
   ++stats_.deliveries;
   ++report.delivered;
+  DAPES_TRACE_EVENT(trace::EventType::kMediumRx, receiver, tx.id);
   return true;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace dapes::sim {
 
 namespace {
@@ -56,6 +58,12 @@ EventId Scheduler::push_entry(TimePoint at, uint64_t id, uint64_t tag,
 
 EventId Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
   if (at < now_) at = now_;
+  // Traced after clamping and before the staging branch: the staged and
+  // direct paths clamp identically, so the record is mode-invariant. The
+  // event id is deliberately not recorded (phase slots pre-assign strided
+  // ids, which differ from the serial ones by design).
+  DAPES_TRACE_HERE(trace::EventType::kSchedSchedule,
+                   static_cast<uint64_t>(at.us));
   if (PhaseSlot* slot = bound_slot()) {
     // Staged: pre-assigned id now, heap insertion (and the sequence
     // number) at end_phase, in slot order.
@@ -94,6 +102,8 @@ EventId Scheduler::schedule_tagged(TimePoint at, uint64_t tag,
     throw std::logic_error("Scheduler::schedule_tagged: phase open");
   }
   if (at < now_) at = now_;
+  DAPES_TRACE_HERE(trace::EventType::kSchedSchedule,
+                   static_cast<uint64_t>(at.us));
   const uint64_t id = next_id_++;
   return push_entry(at, id, tag,
                     std::make_shared<std::function<void()>>(std::move(fn)));
@@ -113,6 +123,9 @@ bool Scheduler::apply_cancel(uint64_t id) {
 
 bool Scheduler::cancel(EventId id) {
   if (!id.valid()) return false;
+  // The record carries no success flag: the staged path below answers
+  // optimistically, so a flag would differ between engines.
+  DAPES_TRACE_HERE(trace::EventType::kSchedCancel);
   if (PhaseSlot* slot = bound_slot()) {
     // Staged; applied by end_phase in slot order. Callers may only cancel
     // events their own node scheduled (the lane-ownership contract, see
@@ -237,6 +250,11 @@ size_t Scheduler::run_until(TimePoint until) {
     now_ = e.at;
     ++executed_;
     ++count;
+    // Tagged entries (medium deliveries) are not traced as fires: the
+    // phase-parallel engine batch-claims them without popping each one
+    // here, so a fire record would be engine-dependent. Their delivery
+    // is traced by the medium instead.
+    if (e.tag == 0) DAPES_TRACE_HERE(trace::EventType::kSchedFire);
     (*e.fn)();
   }
   // The clock always reaches the requested horizon, whether or not
@@ -258,6 +276,11 @@ size_t Scheduler::run() {
     now_ = e.at;
     ++executed_;
     ++count;
+    // Tagged entries (medium deliveries) are not traced as fires: the
+    // phase-parallel engine batch-claims them without popping each one
+    // here, so a fire record would be engine-dependent. Their delivery
+    // is traced by the medium instead.
+    if (e.tag == 0) DAPES_TRACE_HERE(trace::EventType::kSchedFire);
     (*e.fn)();
   }
   return count;

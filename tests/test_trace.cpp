@@ -1,0 +1,461 @@
+// The event-trace subsystem's contracts (DESIGN.md "Event trace
+// architecture"):
+//
+//   * Binary round-trip — varints and whole DTRC traces encode/decode
+//     losslessly, on randomized inputs.
+//   * Bounded memory — the ring sink holds at most ring_capacity records
+//     per slot, drops oldest-first, and counts every drop.
+//   * Disabled guard — with no sink configured nothing is emitted, no
+//     tracer is installed, and a traced trial's deterministic TrialResult
+//     is bit-identical to the untraced one.
+//   * Trace identity — the merged trace file is byte-identical across
+//     --jobs 1 vs 8 and --trial-threads 1 vs 4, multi-seed (the contract
+//     the CI smoke also byte-diffs at bench scale).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/driver.hpp"
+#include "harness/scale.hpp"
+#include "harness/trial_runner.hpp"
+#include "ndn/name.hpp"
+#include "trace/format.hpp"
+#include "trace/query.hpp"
+#include "trace/trace.hpp"
+
+namespace dapes::trace {
+namespace {
+
+// ---------------------------------------------------------------- varints
+
+TEST(TraceVarint, RoundTripBoundaryValues) {
+  const std::vector<uint64_t> values = {
+      0,       1,          0x7f,        0x80,       0x3fff,
+      0x4000,  0x1fffff,   0x200000,    0xffffffff, 0x100000000ull,
+      UINT64_MAX - 1,      UINT64_MAX};
+  std::string buf;
+  for (uint64_t v : values) put_varint(buf, v);
+  size_t pos = 0;
+  for (uint64_t v : values) EXPECT_EQ(get_varint(buf, pos), v);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(TraceVarint, RoundTripRandom) {
+  common::Rng rng(7);
+  std::string buf;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    // Spread across magnitudes: mask a full draw down to 1..64 bits.
+    const int bits = 1 + static_cast<int>(rng.next_below(64));
+    uint64_t v = rng.next();
+    if (bits < 64) v &= (1ull << bits) - 1;
+    values.push_back(v);
+    put_varint(buf, v);
+  }
+  size_t pos = 0;
+  for (uint64_t v : values) EXPECT_EQ(get_varint(buf, pos), v);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(TraceVarint, TruncationThrows) {
+  std::string buf;
+  put_varint(buf, 0x4000);  // two-plus bytes
+  buf.pop_back();
+  size_t pos = 0;
+  EXPECT_THROW(get_varint(buf, pos), std::runtime_error);
+}
+
+// ---------------------------------------------------- trace encode/decode
+
+TraceData random_trace(uint64_t seed) {
+  common::Rng rng(seed);
+  TraceData t;
+  const auto& reg = EventTypeRegistry::get();
+  for (size_t i = 0; i < kEventTypeCount; ++i) {
+    t.types.emplace_back(static_cast<uint16_t>(i),
+                         std::string(reg.name(static_cast<EventType>(i))));
+  }
+  const size_t n_names = 1 + static_cast<size_t>(rng.next_below(16));
+  for (size_t i = 0; i < n_names; ++i) {
+    // Hashes must be unique and sorted ascending, as the writer emits.
+    t.names.emplace_back((i + 1) * 1000 + rng.next_below(999),
+                         "/t/" + std::to_string(i));
+  }
+  int64_t now = 0;
+  const size_t n_records = static_cast<size_t>(rng.next_below(300));
+  for (size_t i = 0; i < n_records; ++i) {
+    Record r;
+    now += static_cast<int64_t>(rng.next_below(5000));  // nondecreasing
+    r.t_us = now;
+    r.node = rng.next_below(10) == 0
+                 ? kNoNode
+                 : static_cast<uint32_t>(rng.next_below(64));
+    r.type = static_cast<uint16_t>(rng.next_below(kEventTypeCount));
+    r.name_hash =
+        rng.next_below(2) == 0 ? 0 : t.names[rng.next_below(n_names)].first;
+    r.narg = static_cast<uint16_t>(rng.next_below(4));
+    for (uint16_t a = 0; a < r.narg; ++a) r.args[a] = rng.next();
+    t.records.push_back(r);
+  }
+  const size_t n_slots = 1 + static_cast<size_t>(rng.next_below(8));
+  for (size_t i = 0; i < n_slots; ++i) {
+    t.dropped_per_slot.push_back(rng.next_below(100));
+  }
+  t.total_emitted = t.records.size() + t.total_dropped();
+  return t;
+}
+
+TEST(TraceFormat, RoundTripRandomTraces) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const TraceData t = random_trace(seed);
+    const std::string bytes = encode_trace(t);
+    const TraceData back = decode_trace(bytes);
+    ASSERT_EQ(back.records.size(), t.records.size()) << "seed " << seed;
+    for (size_t i = 0; i < t.records.size(); ++i) {
+      EXPECT_EQ(back.records[i], t.records[i]) << "seed " << seed;
+    }
+    EXPECT_EQ(back.names, t.names) << "seed " << seed;
+    EXPECT_EQ(back.types, t.types) << "seed " << seed;
+    EXPECT_EQ(back.dropped_per_slot, t.dropped_per_slot) << "seed " << seed;
+    EXPECT_EQ(back.total_emitted, t.total_emitted) << "seed " << seed;
+    // Determinism: re-encoding the decoded trace is byte-identical.
+    EXPECT_EQ(encode_trace(back), bytes) << "seed " << seed;
+  }
+}
+
+TEST(TraceFormat, RejectsCorruptInput) {
+  const TraceData t = random_trace(3);
+  std::string bytes = encode_trace(t);
+  EXPECT_THROW(decode_trace(std::string("XXXX") + bytes.substr(4)),
+               std::runtime_error);
+  EXPECT_THROW(decode_trace(bytes.substr(0, bytes.size() / 2)),
+               std::runtime_error);
+  EXPECT_THROW(decode_trace(std::string()), std::runtime_error);
+}
+
+// -------------------------------------------------------- tracer + sinks
+
+TEST(Tracer, RingSinkBoundsMemoryAndCountsDrops) {
+  TraceConfig config;
+  config.sink = "ring";
+  config.ring_capacity = 16;
+  int64_t now = 0;
+  Tracer tracer(config, [&now] { return now; });
+  TrialScope scope(&tracer);
+
+  tracer.ensure_node(0);
+  const uint64_t total = 100;
+  for (uint64_t i = 0; i < total; ++i) {
+    now = static_cast<int64_t>(i);
+    NodeScope node(0);
+    DAPES_TRACE_HERE(EventType::kSchedFire, i);
+  }
+  EXPECT_EQ(tracer.emitted(), total);
+  EXPECT_EQ(tracer.held(), 16u);
+  EXPECT_EQ(tracer.dropped(), total - 16);
+
+  // The survivors are the newest 16, in emission order.
+  const TraceData t = tracer.snapshot();
+  ASSERT_EQ(t.records.size(), 16u);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(t.records[i].t_us, static_cast<int64_t>(total - 16 + i));
+    EXPECT_EQ(t.records[i].args[0], total - 16 + i);
+  }
+  EXPECT_EQ(t.total_emitted, total);
+  EXPECT_EQ(t.total_dropped(), total - 16);
+}
+
+TEST(Tracer, PerSlotRingsAreIndependent) {
+  TraceConfig config;
+  config.sink = "ring";
+  config.ring_capacity = 8;
+  int64_t now = 0;
+  Tracer tracer(config, [&now] { return now; });
+  TrialScope scope(&tracer);
+  tracer.ensure_node(0);
+  tracer.ensure_node(1);
+
+  for (uint64_t i = 0; i < 50; ++i) {
+    NodeScope node(0);
+    DAPES_TRACE_HERE(EventType::kSchedFire);
+  }
+  {
+    NodeScope node(1);
+    DAPES_TRACE_HERE(EventType::kSchedCancel);
+  }
+  // Node 0 overflowed its ring; node 1's single record must survive.
+  const TraceData t = tracer.snapshot();
+  size_t node1 = 0;
+  for (const Record& r : t.records) node1 += r.node == 1 ? 1 : 0;
+  EXPECT_EQ(node1, 1u);
+  EXPECT_EQ(tracer.held(), 9u);
+  EXPECT_EQ(tracer.dropped(), 42u);
+}
+
+TEST(Tracer, CanonicalMergeOrdersByTimeThenSlot) {
+  TraceConfig config;
+  config.sink = "ring";
+  int64_t now = 0;
+  Tracer tracer(config, [&now] { return now; });
+  TrialScope scope(&tracer);
+  tracer.ensure_node(0);
+  tracer.ensure_node(1);
+
+  // Same-instant emissions from node 1, node 0, then unattributed: the
+  // merge must order them (slot 0, slot 1, slot 2) = (none, n0, n1).
+  now = 5;
+  {
+    NodeScope node(1);
+    DAPES_TRACE_HERE(EventType::kSchedFire);
+  }
+  {
+    NodeScope node(0);
+    DAPES_TRACE_HERE(EventType::kSchedFire);
+  }
+  DAPES_TRACE_HERE(EventType::kSchedFire);  // no scope -> slot 0
+  now = 2;  // an earlier timestamp emitted later still sorts first
+  {
+    NodeScope node(1);
+    DAPES_TRACE_HERE(EventType::kSchedCancel);
+  }
+
+  const TraceData t = tracer.snapshot();
+  ASSERT_EQ(t.records.size(), 4u);
+  EXPECT_EQ(t.records[0].t_us, 2);
+  EXPECT_EQ(t.records[0].node, 1u);
+  EXPECT_EQ(t.records[1].t_us, 5);
+  EXPECT_EQ(t.records[1].node, kNoNode);
+  EXPECT_EQ(t.records[2].node, 0u);
+  EXPECT_EQ(t.records[3].node, 1u);
+}
+
+TEST(Tracer, NamedEmissionsBuildTheDictionary) {
+  TraceConfig config;
+  config.sink = "ring";
+  Tracer tracer(config, [] { return int64_t{0}; });
+  TrialScope scope(&tracer);
+  tracer.ensure_node(0);
+
+  const ndn::Name name("/dapes/discovery");
+  {
+    NodeScope node(0);
+    DAPES_TRACE_NAMED(EventType::kPitInsert, name);
+    DAPES_TRACE_NAMED(EventType::kPitSatisfy, name);
+  }
+  const TraceData t = tracer.snapshot();
+  ASSERT_EQ(t.records.size(), 2u);
+  ASSERT_EQ(t.names.size(), 1u);  // one name, learned once
+  EXPECT_EQ(t.names[0].first, name.hash());
+  EXPECT_EQ(t.names[0].second, name.to_uri());
+  EXPECT_EQ(t.records[0].name_hash, name.hash());
+  ASSERT_NE(t.name_of(name.hash()), nullptr);
+  EXPECT_EQ(*t.name_of(name.hash()), name.to_uri());
+}
+
+TEST(Tracer, UnknownSinkNameThrows) {
+  TraceConfig config;
+  config.sink = "bogus";
+  EXPECT_THROW(Tracer(config, [] { return int64_t{0}; }),
+               std::invalid_argument);
+}
+
+TEST(Tracer, FileSinkRequiresPath) {
+  TraceConfig config;
+  config.sink = "file";
+  EXPECT_THROW(Tracer(config, [] { return int64_t{0}; }),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- disabled guard
+
+TEST(TraceGuard, NothingRunsWhenDisabled) {
+  ASSERT_EQ(active(), nullptr);
+  // Every macro must be inert without an installed tracer.
+  DAPES_TRACE_EVENT(EventType::kMediumTx, 1, 2, 3);
+  DAPES_TRACE_HERE(EventType::kSchedFire);
+  DAPES_TRACE_NAMED(EventType::kPitInsert, ndn::Name("/x"));
+  // NodeScope must not arm (and must not touch the context).
+  {
+    NodeScope node(4);
+    EXPECT_EQ(context_node(), kNoNode);
+  }
+  SUCCEED();
+}
+
+TEST(TraceGuard, NoNodeScopeKeepsCurrentContext) {
+  TraceConfig config;
+  config.sink = "null";
+  Tracer tracer(config, [] { return int64_t{0}; });
+  TrialScope scope(&tracer);
+  NodeScope outer(7);
+  EXPECT_EQ(context_node(), 7u);
+  {
+    // An unbound forwarder's scope must not clobber the receiver scope.
+    NodeScope inner(kNoNode);
+    EXPECT_EQ(context_node(), 7u);
+  }
+  EXPECT_EQ(context_node(), 7u);
+}
+
+}  // namespace
+}  // namespace dapes::trace
+
+namespace dapes::harness {
+namespace {
+
+using trace::TraceData;
+
+ScenarioParams tiny_field(uint64_t seed) {
+  ScenarioParams p;
+  p.files = 1;
+  p.file_size_bytes = 8 * 1024;
+  p.mobile_downloaders = 6;
+  p.stationary_downloaders = 2;
+  p.pure_forwarders = 2;
+  p.dapes_intermediates = 2;
+  p.wifi_range_m = 80.0;
+  p.data_rate_bps = 11e6;
+  p.sim_limit_s = 200.0;
+  p.seed = seed;
+  return p;
+}
+
+void expect_deterministic_equal(const TrialResult& a, const TrialResult& b) {
+  EXPECT_DOUBLE_EQ(a.download_time_s, b.download_time_s);
+  EXPECT_DOUBLE_EQ(a.completion_fraction, b.completion_fraction);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.collided_frames, b.collided_frames);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.peak_state_bytes, b.peak_state_bytes);
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// A scoped temp directory for trace files.
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const std::string& tag)
+      : path(std::filesystem::temp_directory_path() /
+             ("dapes_trace_test_" + tag)) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(TraceTrial, TracingDoesNotPerturbResults) {
+  const ScenarioParams base = tiny_field(11);
+  const TrialResult untraced = run_trial(ProtocolNames::kScaleField, base);
+
+  ScenarioParams traced = base;
+  traced.trace.sink = "null";
+  const TrialResult with_null = run_trial(ProtocolNames::kScaleField, traced);
+  expect_deterministic_equal(untraced, with_null);
+
+  TempDir dir("perturb");
+  traced.trace.sink = "file";
+  traced.trace.path = (dir.path / "tr").string();
+  const TrialResult with_file = run_trial(ProtocolNames::kScaleField, traced);
+  expect_deterministic_equal(untraced, with_file);
+  EXPECT_TRUE(std::filesystem::exists(dir.path / "tr"));
+}
+
+TEST(TraceTrial, TraceFileIdenticalAcrossJobs) {
+  // Multi-seed: each seed's per-trial trace must be byte-identical
+  // between a serial and an 8-thread TrialRunner fan-out.
+  TempDir dir("jobs");
+  const int trials = 3;
+  for (uint64_t seed : {1ull, 2ull}) {
+    ScenarioParams p = tiny_field(seed);
+    p.trace.sink = "file";
+
+    p.trace.path = (dir.path / ("j1_s" + std::to_string(seed))).string();
+    TrialRunner(1).run(ProtocolNames::kScaleField, p, trials);
+
+    p.trace.path = (dir.path / ("j8_s" + std::to_string(seed))).string();
+    TrialRunner(8).run(ProtocolNames::kScaleField, p, trials);
+
+    for (int t = 0; t < trials; ++t) {
+      const std::string suffix = ".t" + std::to_string(t);
+      const std::string a =
+          slurp(dir.path / ("j1_s" + std::to_string(seed) + suffix));
+      const std::string b =
+          slurp(dir.path / ("j8_s" + std::to_string(seed) + suffix));
+      ASSERT_FALSE(a.empty());
+      EXPECT_EQ(a, b) << "seed " << seed << " trial " << t;
+    }
+  }
+}
+
+TEST(TraceTrial, TraceFileIdenticalAcrossTrialThreads) {
+  // The phase-parallel engine must emit the same canonical trace as the
+  // serial event loop, multi-seed.
+  TempDir dir("lanes");
+  for (uint64_t seed : {3ull, 4ull}) {
+    ScenarioParams p = tiny_field(seed);
+    p.trace.sink = "file";
+
+    p.trial_threads = 1;
+    p.trace.path = (dir.path / ("t1_s" + std::to_string(seed))).string();
+    run_trial(ProtocolNames::kScaleField, p);
+
+    p.trial_threads = 4;
+    p.trace.path = (dir.path / ("t4_s" + std::to_string(seed))).string();
+    run_trial(ProtocolNames::kScaleField, p);
+
+    p.trial_threads = 0;  // plain serial loop
+    p.trace.path = (dir.path / ("t0_s" + std::to_string(seed))).string();
+    run_trial(ProtocolNames::kScaleField, p);
+
+    const std::string serial =
+        slurp(dir.path / ("t0_s" + std::to_string(seed)));
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, slurp(dir.path / ("t1_s" + std::to_string(seed))))
+        << "seed " << seed;
+    EXPECT_EQ(serial, slurp(dir.path / ("t4_s" + std::to_string(seed))))
+        << "seed " << seed;
+  }
+}
+
+TEST(TraceTrial, QueryToolsReadTrialTraces) {
+  TempDir dir("query");
+  ScenarioParams p = tiny_field(5);
+  p.trace.sink = "file";
+  p.trace.path = (dir.path / "tr").string();
+  run_trial(ProtocolNames::kScaleField, p);
+
+  const TraceData t = trace::read_trace_file((dir.path / "tr").string());
+  ASSERT_FALSE(t.records.empty());
+
+  const trace::TraceStats stats = trace::compute_stats(t);
+  EXPECT_EQ(stats.records, t.records.size());
+  EXPECT_GT(stats.nodes_seen, 0u);
+  EXPECT_FALSE(stats.by_type.empty());
+
+  // Diff against itself: identical. Against a truncated copy: divergent
+  // at the truncation point.
+  const trace::DiffResult same = trace::diff_traces(t, t);
+  EXPECT_TRUE(same.identical);
+  TraceData shorter = t;
+  shorter.records.pop_back();
+  const trace::DiffResult diff = trace::diff_traces(t, shorter);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.index, shorter.records.size());
+  EXPECT_TRUE(diff.a.has_value());
+  EXPECT_FALSE(diff.b.has_value());
+}
+
+}  // namespace
+}  // namespace dapes::harness
