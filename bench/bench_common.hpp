@@ -13,6 +13,10 @@
 //                        the knob composes with --jobs)
 //   --no-wall            omit wall-clock metrics from the output, leaving
 //                        only deterministic ones (for byte-for-byte diffs)
+//   --no-verify-cache    disable the per-trial verify-result cache and
+//                        delivery prewarm, retaining the per-receiver
+//                        scalar verify path (results are identical either
+//                        way; this is the equivalence/baseline knob)
 //   --trace SINK[:PATH]  structured event tracing: SINK is ring, file or
 //                        null; PATH is where the merged binary trace goes
 //                        (required for file, optional for ring). Runners
@@ -61,6 +65,7 @@ struct BenchArgs {
   int jobs = 0;           // 0 = all hardware threads
   int trial_threads = 0;  // 0 = serial trial interior
   bool no_wall = false;   // drop wall-clock metrics (determinism diffs)
+  bool verify_cache = true;  // --no-verify-cache clears it
   trace::TraceConfig trace;  // --trace; empty sink = tracing off
   harness::OutputFormat format = harness::OutputFormat::kText;
   std::string out;  // empty = stdout
@@ -69,9 +74,11 @@ struct BenchArgs {
     std::fprintf(to,
                  "usage: %s [--trials N] [--quick] [--paper-scale] [--seed S]\n"
                  "       %*s [--jobs N] [--trial-threads N] [--no-wall]\n"
+                 "       %*s [--no-verify-cache]\n"
                  "       %*s [--trace SINK[:PATH]] [--log-level LEVEL]\n"
                  "       %*s [--format text|csv|json] [--out FILE]\n",
                  prog, static_cast<int>(std::strlen(prog)), "",
+                 static_cast<int>(std::strlen(prog)), "",
                  static_cast<int>(std::strlen(prog)), "",
                  static_cast<int>(std::strlen(prog)), "");
   }
@@ -140,6 +147,8 @@ struct BenchArgs {
             "--trial-threads", value_of("--trial-threads", inline_value), 0));
       } else if (flag == "--no-wall") {
         args.no_wall = true;
+      } else if (flag == "--no-verify-cache") {
+        args.verify_cache = false;
       } else if (flag == "--trace") {
         std::string v = value_of("--trace", inline_value);
         size_t colon = v.find(':');
@@ -190,6 +199,7 @@ struct BenchArgs {
     harness::ScenarioParams p;
     p.seed = seed;
     p.trial_threads = trial_threads;
+    p.verify_cache = verify_cache;
     p.trace = trace;
     if (paper_scale) {
       p.file_size_bytes = 1024 * 1024;

@@ -6,11 +6,16 @@ namespace dapes::crypto {
 
 Signature PrivateKey::sign(std::string_view name,
                            common::BytesView content) const {
-  return Signature{id_, KeyChain::compute_mac(secret_, name, content)};
+  return sign(name, Sha256::hash(content));
+}
+
+Signature PrivateKey::sign(std::string_view name,
+                           const Digest& content_digest) const {
+  return Signature{id_, KeyChain::compute_mac(secret_, name, content_digest)};
 }
 
 Digest KeyChain::compute_mac(const Digest& secret, std::string_view name,
-                             common::BytesView content) {
+                             const Digest& content_digest) {
   Sha256 ctx;
   ctx.update(secret.view());
   ctx.update(name);
@@ -18,8 +23,13 @@ Digest KeyChain::compute_mac(const Digest& secret, std::string_view name,
   common::Bytes len;
   common::append_be(len, name.size(), 8);
   ctx.update(common::BytesView(len.data(), len.size()));
-  ctx.update(content);
+  ctx.update(content_digest.view());
   return ctx.final_digest();
+}
+
+Digest KeyChain::compute_mac(const Digest& secret, std::string_view name,
+                             common::BytesView content) {
+  return compute_mac(secret, name, Sha256::hash(content));
 }
 
 PrivateKey KeyChain::generate_key(const std::string& owner_name,
@@ -47,9 +57,20 @@ void KeyChain::import_key(const KeyId& id, const Digest& secret) {
 
 bool KeyChain::verify(std::string_view name, common::BytesView content,
                       const Signature& sig) const {
+  if (!keys_.contains(sig.signer)) return false;
+  return verify(name, Sha256::hash(content), sig);
+}
+
+bool KeyChain::verify(std::string_view name, const Digest& content_digest,
+                      const Signature& sig) const {
   auto it = keys_.find(sig.signer);
   if (it == keys_.end()) return false;
-  return compute_mac(it->second, name, content) == sig.mac;
+  return compute_mac(it->second, name, content_digest) == sig.mac;
+}
+
+const Digest* KeyChain::secret_for(const KeyId& id) const {
+  auto it = keys_.find(id);
+  return it == keys_.end() ? nullptr : &it->second;
 }
 
 void KeyChain::add_trust_anchor(const KeyId& id) { anchors_[id] = true; }

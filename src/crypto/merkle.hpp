@@ -1,11 +1,12 @@
-// Merkle tree over packet digests (paper §IV-C, "Merkle tree based
-// format").
-//
-// The collection producer builds one tree per file; the metadata carries
-// only each tree's root hash, keeping the metadata small enough for a
-// single network-layer packet. A downloader can verify a whole file once
-// all packets arrive (recompute the root), or verify a single packet early
-// if it also obtains an inclusion proof.
+/// @file
+/// Merkle tree over packet digests (paper §IV-C, "Merkle tree based
+/// format").
+///
+/// The collection producer builds one tree per file; the metadata carries
+/// only each tree's root hash, keeping the metadata small enough for a
+/// single network-layer packet. A downloader can verify a whole file once
+/// all packets arrive (recompute the root), or verify a single packet early
+/// if it also obtains an inclusion proof.
 #pragma once
 
 #include <cstddef>
@@ -17,9 +18,9 @@ namespace dapes::crypto {
 
 /// Inclusion proof: sibling hashes from leaf to root plus the leaf index.
 struct MerkleProof {
-  size_t leaf_index = 0;
-  size_t leaf_count = 0;
-  std::vector<Digest> siblings;  // ordered leaf-level first
+  size_t leaf_index = 0;         ///< which leaf the proof covers
+  size_t leaf_count = 0;         ///< leaves in the proven tree
+  std::vector<Digest> siblings;  ///< sibling hashes, leaf level first
 };
 
 /// Immutable Merkle tree built over a sequence of leaf digests.
@@ -36,7 +37,9 @@ class MerkleTree {
   /// Build by hashing raw packet payloads.
   static MerkleTree from_payloads(const std::vector<common::Bytes>& payloads);
 
+  /// The tree's root hash (what the signed metadata carries).
   const Digest& root() const { return root_; }
+  /// Number of leaves the tree was built over.
   size_t leaf_count() const { return leaf_count_; }
 
   /// Inclusion proof for leaf @p index. @throws std::out_of_range.

@@ -1,13 +1,22 @@
 #include "crypto/sha256.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#include <cpuid.h>
+#endif
+
+#include "common/logging.hpp"
+#include "crypto/sha256_kernels.hpp"
+
 namespace dapes::crypto {
 
-namespace {
+namespace kernels {
 
-constexpr std::array<uint32_t, 64> kK = {
+const uint32_t kSha256K[64] = {
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
     0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
     0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
@@ -20,13 +29,301 @@ constexpr std::array<uint32_t, 64> kK = {
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
-constexpr std::array<uint32_t, 8> kInit = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
-                                           0xa54ff53a, 0x510e527f, 0x9b05688c,
-                                           0x1f83d9ab, 0x5be0cd19};
+const uint32_t kSha256Init[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                 0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                 0x1f83d9ab, 0x5be0cd19};
+
+#if DAPES_SHA256_X86
+
+namespace {
+
+/// xgetbv(0) without -mxsave: reads the XCR0 feature-enable register to
+/// check the OS saves the ymm state AVX2 needs.
+uint64_t read_xcr0() {
+  uint32_t eax = 0, edx = 0;
+  __asm__ __volatile__("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+
+}  // namespace
+
+bool cpu_has_ssse3() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  return (ecx & (1u << 9)) != 0;
+}
+
+bool cpu_has_avx2() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  if (!osxsave || !avx) return false;
+  if ((read_xcr0() & 0x6) != 0x6) return false;  // xmm + ymm state enabled
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  return (ebx & (1u << 5)) != 0;
+}
+
+bool cpu_has_shani() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  // The kernel's state permutation uses SSSE3 pshufb + SSE4.1 pblendw.
+  if ((ecx & (1u << 9)) == 0 || (ecx & (1u << 19)) == 0) return false;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  return (ebx & (1u << 29)) != 0;
+}
+
+#endif  // DAPES_SHA256_X86
+
+}  // namespace kernels
+
+namespace {
 
 uint32_t rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
+/// FIPS 180-4 tail builder: pack the sub-block remainder of a message of
+/// @p size bytes (its last size % 64 bytes, at @p rem) plus the 0x80
+/// terminator and the 64-bit bit length into @p tail. Returns the number
+/// of tail blocks written (1, or 2 when the remainder spills).
+size_t build_tail(const uint8_t* rem, size_t size, uint8_t tail[128]) {
+  const size_t rem_len = size % 64;
+  std::memset(tail, 0, 128);
+  if (rem_len > 0) std::memcpy(tail, rem, rem_len);
+  tail[rem_len] = 0x80;
+  const size_t blocks = rem_len + 9 <= 64 ? 1 : 2;
+  const uint64_t bits = static_cast<uint64_t>(size) * 8;
+  uint8_t* len_at = tail + 64 * blocks - 8;
+  for (int i = 0; i < 8; ++i) {
+    len_at[i] = static_cast<uint8_t>(bits >> (56 - 8 * i));
+  }
+  return blocks;
+}
+
+/// Serialize the eight working variables to the big-endian digest bytes.
+Digest serialize_state(const uint32_t state[8]) {
+  Digest d;
+  for (int i = 0; i < 8; ++i) {
+    d.bytes[4 * i] = static_cast<uint8_t>(state[i] >> 24);
+    d.bytes[4 * i + 1] = static_cast<uint8_t>(state[i] >> 16);
+    d.bytes[4 * i + 2] = static_cast<uint8_t>(state[i] >> 8);
+    d.bytes[4 * i + 3] = static_cast<uint8_t>(state[i]);
+  }
+  return d;
+}
+
+/// One-shot hash through an explicit block compressor: body blocks
+/// straight from the input, padded tail on the stack.
+Digest hash_with(void (*compress)(uint32_t*, const uint8_t*, size_t),
+                 common::BytesView data) {
+  uint32_t state[8];
+  std::memcpy(state, kernels::kSha256Init, sizeof(state));
+  const size_t body_blocks = data.size() / 64;
+  if (body_blocks > 0) compress(state, data.data(), body_blocks);
+  uint8_t tail[128];
+  const size_t tail_blocks =
+      build_tail(data.data() + body_blocks * 64, data.size(), tail);
+  compress(state, tail, tail_blocks);
+  return serialize_state(state);
+}
+
 }  // namespace
+
+namespace ref {
+
+void sha256_compress(uint32_t* state, const uint8_t* blocks, size_t count) {
+  for (size_t b = 0; b < count; ++b) {
+    const uint8_t* block = blocks + 64 * b;
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+             (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+             (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+             static_cast<uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    uint32_t a = state[0], bb = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      uint32_t ch = (e & f) ^ (~e & g);
+      uint32_t temp1 = h + s1 + ch + kernels::kSha256K[i] + w[i];
+      uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      uint32_t maj = (a & bb) ^ (a & c) ^ (bb & c);
+      uint32_t temp2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = bb;
+      bb = a;
+      a = temp1 + temp2;
+    }
+
+    state[0] += a;
+    state[1] += bb;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+Digest sha256(common::BytesView data) { return hash_with(&sha256_compress, data); }
+
+}  // namespace ref
+
+namespace {
+
+const Sha256Engine kScalarEngine{"scalar", 0, &ref::sha256_compress, nullptr};
+
+#if DAPES_SHA256_X86
+const Sha256Engine kSsse3Engine{"ssse3", 4, &ref::sha256_compress,
+                                &kernels::sha256_x4_ssse3};
+const Sha256Engine kAvx2Engine{"avx2", 8, &ref::sha256_compress,
+                               &kernels::sha256_x8_avx2};
+const Sha256Engine kShaniEngine{"shani", 0, &kernels::sha256_compress_shani,
+                                nullptr};
+#endif
+
+/// Process-wide engine registry + active selection, built on first use:
+/// probe the CPU, compose the auto engine (best single-stream compressor
+/// with the widest multi-buffer kernel), then apply DAPES_SHA256_IMPL.
+struct EngineState {
+  std::vector<const Sha256Engine*> supported;
+  Sha256Engine auto_engine;
+  std::string auto_name;
+  const Sha256Engine* active = nullptr;
+
+  EngineState() {
+    supported.push_back(&kScalarEngine);
+#if DAPES_SHA256_X86
+    if (kernels::cpu_has_ssse3()) supported.push_back(&kSsse3Engine);
+    if (kernels::cpu_has_avx2()) supported.push_back(&kAvx2Engine);
+    if (kernels::cpu_has_shani()) supported.push_back(&kShaniEngine);
+#endif
+    // Compose "auto": the engines are independent on the two axes, so
+    // take the best of each (e.g. SHA-NI singles + AVX2 batches).
+    auto_engine = *supported.back();
+    auto_name = auto_engine.name;
+    for (const Sha256Engine* e : supported) {
+      if (e->lanes > auto_engine.lanes) {
+        auto_engine.lanes = e->lanes;
+        auto_engine.compress_multi = e->compress_multi;
+        auto_name = std::string(auto_engine.name) + "+" + e->name;
+      }
+    }
+    auto_engine.name = auto_name.c_str();
+    active = &auto_engine;
+
+    if (const char* env = std::getenv("DAPES_SHA256_IMPL")) {
+      if (!select(env)) {
+        DAPES_LOG_WARN("crypto")
+            << "DAPES_SHA256_IMPL=" << env
+            << " unknown or unsupported on this CPU; using " << active->name;
+      }
+    }
+  }
+
+  bool select(std::string_view name) {
+    if (name.empty() || name == "auto") {
+      active = &auto_engine;
+      return true;
+    }
+    for (const Sha256Engine* e : supported) {
+      if (name == e->name) {
+        active = e;
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+EngineState& engine_state() {
+  static EngineState s;
+  return s;
+}
+
+}  // namespace
+
+const Sha256Engine& engine() { return *engine_state().active; }
+
+bool set_engine(std::string_view name) { return engine_state().select(name); }
+
+std::vector<const Sha256Engine*> all_engines() {
+  return engine_state().supported;
+}
+
+void sha256_many(const common::BytesView* inputs, Digest* out, size_t count) {
+  const Sha256Engine& eng = engine();
+  if (eng.lanes == 0 || count < 2) {
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = hash_with(eng.compress, inputs[i]);
+    }
+    return;
+  }
+
+  // Lockstep lanes need equal total block counts: order the messages by
+  // block count (stably, so equal-length runs keep input order) and walk
+  // runs of equal counts in lane-width chunks.
+  struct Slot {
+    size_t blocks = 0;
+    size_t index = 0;
+  };
+  std::vector<Slot> slots(count);
+  std::vector<std::array<uint8_t, 128>> tails(count);
+  std::vector<size_t> tail_blocks(count);
+  for (size_t i = 0; i < count; ++i) {
+    tail_blocks[i] =
+        build_tail(inputs[i].data() + (inputs[i].size() / 64) * 64,
+                   inputs[i].size(), tails[i].data());
+    slots[i] = {inputs[i].size() / 64 + tail_blocks[i], i};
+  }
+  std::stable_sort(slots.begin(), slots.end(),
+                   [](const Slot& a, const Slot& b) {
+                     return a.blocks < b.blocks;
+                   });
+
+  std::vector<Sha256Lane> lanes(eng.lanes);
+  std::vector<Digest> lane_out(eng.lanes);
+  size_t at = 0;
+  while (at < count) {
+    size_t run_end = at;
+    while (run_end < count && slots[run_end].blocks == slots[at].blocks) {
+      ++run_end;
+    }
+    while (at < run_end) {
+      const size_t chunk = std::min<size_t>(eng.lanes, run_end - at);
+      if (chunk < 2) {
+        const size_t idx = slots[at].index;
+        out[idx] = hash_with(eng.compress, inputs[idx]);
+        ++at;
+        continue;
+      }
+      for (size_t l = 0; l < eng.lanes; ++l) {
+        // Pad short chunks by replaying lane 0 (its digest is discarded).
+        const size_t src = l < chunk ? slots[at + l].index : slots[at].index;
+        lanes[l] = Sha256Lane{inputs[src].data(), inputs[src].size() / 64,
+                              tails[src].data()};
+      }
+      eng.compress_multi(lanes.data(), slots[at].blocks, lane_out.data());
+      for (size_t l = 0; l < chunk; ++l) {
+        out[slots[at + l].index] = lane_out[l];
+      }
+      at += chunk;
+    }
+  }
+}
 
 std::string Digest::to_hex() const { return common::to_hex(view()); }
 
@@ -43,7 +340,7 @@ Digest Digest::from_hex(std::string_view hex) {
 Sha256::Sha256() { reset(); }
 
 void Sha256::reset() {
-  state_ = kInit;
+  std::memcpy(state_.data(), kernels::kSha256Init, sizeof(kernels::kSha256Init));
   bit_count_ = 0;
   buffer_len_ = 0;
 }
@@ -57,13 +354,14 @@ void Sha256::update(common::BytesView data) {
     buffer_len_ += take;
     offset = take;
     if (buffer_len_ == buffer_.size()) {
-      process_block(buffer_.data());
+      engine().compress(state_.data(), buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
-  while (offset + 64 <= data.size()) {
-    process_block(data.data() + offset);
-    offset += 64;
+  const size_t run = (data.size() - offset) / 64;
+  if (run > 0) {
+    engine().compress(state_.data(), data.data() + offset, run);
+    offset += run * 64;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
@@ -94,81 +392,26 @@ Digest Sha256::final_digest() {
   std::memcpy(buffer_.data() + buffer_len_, len_bytes, 8);
   buffer_len_ += 8;
   if (buffer_len_ == 64) {
-    process_block(buffer_.data());
+    engine().compress(state_.data(), buffer_.data(), 1);
     buffer_len_ = 0;
   }
-
-  Digest d;
-  for (int i = 0; i < 8; ++i) {
-    d.bytes[4 * i] = static_cast<uint8_t>(state_[i] >> 24);
-    d.bytes[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 16);
-    d.bytes[4 * i + 2] = static_cast<uint8_t>(state_[i] >> 8);
-    d.bytes[4 * i + 3] = static_cast<uint8_t>(state_[i]);
-  }
-  return d;
-}
-
-void Sha256::process_block(const uint8_t* block) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
-           (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    uint32_t ch = (e & f) ^ (~e & g);
-    uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  return serialize_state(state_.data());
 }
 
 Digest Sha256::hash(common::BytesView data) {
-  Sha256 ctx;
-  ctx.update(data);
-  return ctx.final_digest();
+  return hash_with(engine().compress, data);
 }
 
 Digest Sha256::hash(std::string_view str) {
-  Sha256 ctx;
-  ctx.update(str);
-  return ctx.final_digest();
+  return hash(common::BytesView(reinterpret_cast<const uint8_t*>(str.data()),
+                                str.size()));
 }
 
 Digest Sha256::hash_pair(const Digest& a, const Digest& b) {
-  Sha256 ctx;
-  ctx.update(a.view());
-  ctx.update(b.view());
-  return ctx.final_digest();
+  uint8_t buf[64];
+  std::memcpy(buf, a.bytes.data(), 32);
+  std::memcpy(buf + 32, b.bytes.data(), 32);
+  return hash(common::BytesView(buf, 64));
 }
 
 }  // namespace dapes::crypto

@@ -1,14 +1,32 @@
-// SHA-256 (FIPS 180-4), implemented from scratch.
-//
-// DAPES binds packet content to names via digests: the packet-digest
-// metadata format carries one SHA-256 per packet, and the Merkle-tree
-// format hashes packets into a tree whose root is signed. This is the
-// single hash primitive for the whole repository.
+/// @file
+/// SHA-256 (FIPS 180-4) behind a runtime-dispatched engine table.
+///
+/// DAPES binds packet content to names via digests: the packet-digest
+/// metadata format carries one SHA-256 per packet, and the Merkle-tree
+/// format hashes packets into a tree whose root is signed. This is the
+/// single hash primitive for the whole repository — which also makes it
+/// the crypto hot path at scale, so the implementation is layered:
+///
+///   * `crypto::ref::sha256` — the retained from-scratch scalar reference.
+///     Never dispatched away; every SIMD engine is equivalence-tested
+///     against it (tests/test_sha256_vectors.cpp).
+///   * `Sha256Engine` — one dispatchable implementation: a single-stream
+///     block compressor plus an optional fixed-width multi-buffer kernel
+///     (SSSE3 4-wide, AVX2 8-wide, SHA-NI single-stream).
+///   * The active engine is picked once per process by a runtime CPUID
+///     probe (widest supported kernel wins), overridable with the
+///     `DAPES_SHA256_IMPL` environment variable or `set_engine()` for
+///     tests and benches.
+///
+/// Every engine computes bit-identical FIPS 180-4 digests, so dispatch can
+/// never perturb simulation results. See DESIGN.md "Crypto engine &
+/// verify cache".
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 
@@ -16,42 +34,117 @@ namespace dapes::crypto {
 
 /// 32-byte SHA-256 digest with value semantics.
 struct Digest {
+  /// The raw digest bytes (big-endian word serialization per FIPS 180-4).
   std::array<uint8_t, 32> bytes{};
 
+  /// Byte-wise equality.
   bool operator==(const Digest&) const = default;
+  /// Byte-wise lexicographic order (usable as a map key).
   auto operator<=>(const Digest&) const = default;
 
+  /// Lower-case hex rendering (64 chars).
   std::string to_hex() const;
+  /// Parse a 64-char hex string (throws std::invalid_argument otherwise).
   static Digest from_hex(std::string_view hex);
 
   /// View over the digest bytes (for embedding into wire formats).
   common::BytesView view() const { return common::BytesView(bytes.data(), bytes.size()); }
 };
 
+/// One lane of a multi-buffer SHA-256 call: a message split into its
+/// contiguous full 64-byte body blocks plus a pre-padded tail (one or two
+/// blocks holding the remainder, the 0x80 terminator and the bit length).
+/// All lanes handed to a kernel invocation must total the same block
+/// count (`body_blocks + tail blocks`), so the lanes run in lockstep.
+struct Sha256Lane {
+  /// Full 64-byte message blocks (may be null when body_blocks == 0).
+  const uint8_t* body = nullptr;
+  /// Number of full blocks at `body`.
+  size_t body_blocks = 0;
+  /// FIPS 180-4 padded tail blocks (the per-call total minus body_blocks).
+  const uint8_t* tail = nullptr;
+};
+
+/// One SHA-256 implementation the dispatcher can select: a name for
+/// `DAPES_SHA256_IMPL`/diagnostics, a single-stream block compressor, and
+/// an optional fixed-width multi-buffer kernel for batch hashing.
+struct Sha256Engine {
+  /// Well-known name ("scalar", "ssse3", "avx2", "shani", or the
+  /// composite the auto-probe builds).
+  const char* name = "scalar";
+  /// Width of `compress_multi` in independent messages (0 = none).
+  unsigned lanes = 0;
+  /// Fold `count` consecutive 64-byte blocks at @p blocks into the eight
+  /// 32-bit working variables at @p state.
+  void (*compress)(uint32_t* state, const uint8_t* blocks, size_t count) =
+      nullptr;
+  /// Hash exactly `lanes` equal-block-count messages in lockstep and
+  /// write their digests to @p out (null when lanes == 0).
+  void (*compress_multi)(const Sha256Lane* lanes_in, size_t total_blocks,
+                         Digest* out) = nullptr;
+};
+
+/// The active engine (auto-probed on first use; see set_engine()).
+const Sha256Engine& engine();
+
+/// Select the active engine by name ("scalar", "ssse3", "avx2", "shani",
+/// or "auto" / "" for the probe's choice). Returns false — leaving the
+/// active engine unchanged — when the name is unknown or the CPU lacks
+/// the ISA. Not thread-safe against in-flight hashing; tests and benches
+/// only.
+bool set_engine(std::string_view name);
+
+/// Every engine compiled in *and* supported by this CPU (the scalar
+/// reference always included) — what the vector/equivalence suites sweep.
+std::vector<const Sha256Engine*> all_engines();
+
+/// Hash `count` independent messages, batching them through the active
+/// engine's multi-buffer kernel (grouped by block count, lockstep lanes,
+/// scalar/single-stream fallback for remainders). Digest i of @p out is
+/// always bit-identical to `ref::sha256(inputs[i])`.
+void sha256_many(const common::BytesView* inputs, Digest* out, size_t count);
+
+namespace ref {
+
+/// The retained scalar reference: one-shot SHA-256 that never goes
+/// through the dispatch table. Equivalence baseline for every engine.
+Digest sha256(common::BytesView data);
+
+/// The scalar reference block compressor (also the single-stream half of
+/// the SSE multi-buffer engines, which only accelerate batches).
+void sha256_compress(uint32_t* state, const uint8_t* blocks, size_t count);
+
+}  // namespace ref
+
 /// Incremental SHA-256 context. Usage: update()* then final_digest().
+/// Bulk block runs are folded through the active engine's compressor;
+/// results are engine-independent.
 class Sha256 {
  public:
+  /// Fresh context (equivalent to reset()).
   Sha256();
 
+  /// Absorb @p data.
   void update(common::BytesView data);
+  /// Absorb the bytes of @p str.
   void update(std::string_view str);
 
   /// Finalizes and returns the digest. The context must not be reused
   /// afterwards (reset() starts a fresh hash).
   Digest final_digest();
 
+  /// Restart the context for a fresh hash.
   void reset();
 
   /// One-shot convenience.
   static Digest hash(common::BytesView data);
+  /// One-shot convenience over a string's bytes.
   static Digest hash(std::string_view str);
 
   /// hash(a || b) — used for Merkle interior nodes.
   static Digest hash_pair(const Digest& a, const Digest& b);
 
  private:
-  void process_block(const uint8_t* block);
-
   std::array<uint32_t, 8> state_;
   uint64_t bit_count_ = 0;
   std::array<uint8_t, 64> buffer_{};

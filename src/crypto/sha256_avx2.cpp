@@ -1,0 +1,65 @@
+/// @file
+/// AVX2 8-wide multi-buffer SHA-256 kernel: eight independent messages in
+/// the eight 32-bit lanes of a ymm register. Compiled with -mavx2 (see
+/// CMakeLists.txt); the round logic lives in sha256_multi_impl.hpp.
+
+#include "crypto/sha256_kernels.hpp"
+
+#if DAPES_SHA256_X86
+
+#include <immintrin.h>
+
+#include "crypto/sha256_multi_impl.hpp"
+
+namespace dapes::crypto::kernels {
+namespace {
+
+/// Vector traits over __m256i: 8 lanes of 32 bits.
+struct V8 {
+  __m256i v;
+
+  static constexpr int kLanes = 8;
+
+  static V8 set1(uint32_t x) {
+    return {_mm256_set1_epi32(static_cast<int>(x))};
+  }
+  static V8 load(const uint32_t* p) {
+    return {_mm256_load_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  static void store(uint32_t* p, V8 x) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), x.v);
+  }
+  static V8 add(V8 a, V8 b) { return {_mm256_add_epi32(a.v, b.v)}; }
+  static V8 xor_(V8 a, V8 b) { return {_mm256_xor_si256(a.v, b.v)}; }
+  static V8 and_(V8 a, V8 b) { return {_mm256_and_si256(a.v, b.v)}; }
+  static V8 or_(V8 a, V8 b) { return {_mm256_or_si256(a.v, b.v)}; }
+  /// ~a & b (the x86 andnot operand order).
+  static V8 andnot(V8 a, V8 b) { return {_mm256_andnot_si256(a.v, b.v)}; }
+  template <int N>
+  static V8 shr(V8 a) {
+    return {_mm256_srli_epi32(a.v, N)};
+  }
+  template <int N>
+  static V8 rotr(V8 a) {
+    return {_mm256_or_si256(_mm256_srli_epi32(a.v, N),
+                            _mm256_slli_epi32(a.v, 32 - N))};
+  }
+  /// Per-lane 32-bit byte swap (vpshufb acts within each 128-bit half).
+  static V8 bswap(V8 a) {
+    const __m256i mask = _mm256_set_epi8(
+        12, 13, 14, 15, 8, 9, 10, 11, 4, 5, 6, 7, 0, 1, 2, 3,  //
+        12, 13, 14, 15, 8, 9, 10, 11, 4, 5, 6, 7, 0, 1, 2, 3);
+    return {_mm256_shuffle_epi8(a.v, mask)};
+  }
+};
+
+}  // namespace
+
+void sha256_x8_avx2(const Sha256Lane* lanes, size_t total_blocks,
+                    Digest* out) {
+  sha256_multi<V8>(lanes, total_blocks, out);
+}
+
+}  // namespace dapes::crypto::kernels
+
+#endif  // DAPES_SHA256_X86

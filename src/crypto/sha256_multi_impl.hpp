@@ -1,0 +1,122 @@
+/// @file
+/// Generic multi-buffer SHA-256 round function, shared by the SSSE3 and
+/// AVX2 kernels. Each kernel TU instantiates `sha256_multi` with its own
+/// vector-traits type (4 or 8 32-bit lanes), so the transposed-state round
+/// logic — the part worth getting right exactly once — has a single home
+/// while the ISA-specific operations stay in the TUs that own the -m
+/// flags.
+///
+/// Layout: working variable X of lane L lives in 32-bit element L of
+/// vector X. Message words are gathered per block with scalar unaligned
+/// loads into a small staging array, then byte-swapped in-vector; the 64
+/// rounds and the message schedule — the dominant cost — are fully
+/// vectorized.
+#pragma once
+
+#include <cstring>
+
+#include "crypto/sha256_kernels.hpp"
+
+#if DAPES_SHA256_X86
+
+namespace dapes::crypto::kernels {
+
+/// Hash V::kLanes equal-block-count messages in lockstep. The traits type
+/// V supplies: kLanes, load (aligned), add, xor_, and_, andnot (~a & b),
+/// or_, shr<N>, rotr<N>, bswap, and an aligned staging buffer via
+/// V::Staging.
+template <typename V>
+void sha256_multi(const Sha256Lane* lanes, size_t total_blocks, Digest* out) {
+  constexpr int kLanes = V::kLanes;
+
+  V sa = V::set1(kSha256Init[0]), sb = V::set1(kSha256Init[1]);
+  V sc = V::set1(kSha256Init[2]), sd = V::set1(kSha256Init[3]);
+  V se = V::set1(kSha256Init[4]), sf = V::set1(kSha256Init[5]);
+  V sg = V::set1(kSha256Init[6]), sh = V::set1(kSha256Init[7]);
+
+  alignas(32) uint32_t stage[kLanes];
+
+  for (size_t blk = 0; blk < total_blocks; ++blk) {
+    const uint8_t* p[kLanes];
+    for (int l = 0; l < kLanes; ++l) {
+      const Sha256Lane& ln = lanes[l];
+      p[l] = blk < ln.body_blocks ? ln.body + 64 * blk
+                                  : ln.tail + 64 * (blk - ln.body_blocks);
+    }
+
+    V w[16];
+    for (int i = 0; i < 16; ++i) {
+      for (int l = 0; l < kLanes; ++l) {
+        uint32_t word;
+        std::memcpy(&word, p[l] + 4 * i, 4);
+        stage[l] = word;
+      }
+      w[i] = V::bswap(V::load(stage));
+    }
+
+    V a = sa, b = sb, c = sc, d = sd, e = se, f = sf, g = sg, h = sh;
+    for (int i = 0; i < 64; ++i) {
+      if (i >= 16) {
+        const V w15 = w[(i - 15) & 15];
+        const V w2 = w[(i - 2) & 15];
+        const V s0 = V::xor_(V::xor_(V::template rotr<7>(w15),
+                                     V::template rotr<18>(w15)),
+                             V::template shr<3>(w15));
+        const V s1 = V::xor_(V::xor_(V::template rotr<17>(w2),
+                                     V::template rotr<19>(w2)),
+                             V::template shr<10>(w2));
+        w[i & 15] = V::add(V::add(w[(i - 16) & 15], s0),
+                           V::add(w[(i - 7) & 15], s1));
+      }
+      const V s1 = V::xor_(V::xor_(V::template rotr<6>(e),
+                                   V::template rotr<11>(e)),
+                           V::template rotr<25>(e));
+      const V ch = V::xor_(V::and_(e, f), V::andnot(e, g));
+      const V t1 = V::add(V::add(V::add(h, s1), V::add(ch, V::set1(kSha256K[i]))),
+                          w[i & 15]);
+      const V s0 = V::xor_(V::xor_(V::template rotr<2>(a),
+                                   V::template rotr<13>(a)),
+                           V::template rotr<22>(a));
+      const V maj = V::or_(V::and_(a, b), V::and_(c, V::or_(a, b)));
+      const V t2 = V::add(s0, maj);
+      h = g;
+      g = f;
+      f = e;
+      e = V::add(d, t1);
+      d = c;
+      c = b;
+      b = a;
+      a = V::add(t1, t2);
+    }
+    sa = V::add(sa, a);
+    sb = V::add(sb, b);
+    sc = V::add(sc, c);
+    sd = V::add(sd, d);
+    se = V::add(se, e);
+    sf = V::add(sf, f);
+    sg = V::add(sg, g);
+    sh = V::add(sh, h);
+  }
+
+  alignas(32) uint32_t s[8][kLanes];
+  V::store(s[0], sa);
+  V::store(s[1], sb);
+  V::store(s[2], sc);
+  V::store(s[3], sd);
+  V::store(s[4], se);
+  V::store(s[5], sf);
+  V::store(s[6], sg);
+  V::store(s[7], sh);
+  for (int l = 0; l < kLanes; ++l) {
+    for (int i = 0; i < 8; ++i) {
+      out[l].bytes[4 * i] = static_cast<uint8_t>(s[i][l] >> 24);
+      out[l].bytes[4 * i + 1] = static_cast<uint8_t>(s[i][l] >> 16);
+      out[l].bytes[4 * i + 2] = static_cast<uint8_t>(s[i][l] >> 8);
+      out[l].bytes[4 * i + 3] = static_cast<uint8_t>(s[i][l]);
+    }
+  }
+}
+
+}  // namespace dapes::crypto::kernels
+
+#endif  // DAPES_SHA256_X86

@@ -1,0 +1,84 @@
+/// @file
+/// SHA-NI single-stream SHA-256 compressor: the hardware sha256rnds2 /
+/// sha256msg1 / sha256msg2 instruction sequence, the fastest single-buffer
+/// path on CPUs that have it. Compiled with -msha -msse4.1 (the state
+/// permutation uses pblendw); see CMakeLists.txt.
+///
+/// Register choreography follows the canonical Intel sequence: the state
+/// lives as ABEF/CDGH pairs, four message registers rotate through the
+/// 16-round schedule window, and each quad of rounds issues two
+/// sha256rnds2 (low then high half of the round-constant vector).
+
+#include "crypto/sha256_kernels.hpp"
+
+#if DAPES_SHA256_X86
+
+#include <immintrin.h>
+
+namespace dapes::crypto::kernels {
+
+void sha256_compress_shani(uint32_t* state, const uint8_t* blocks,
+                           size_t count) {
+  // Big-endian 32-bit word loads for the message schedule.
+  const __m128i kMask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // state[] holds A..H; repack into the ABEF/CDGH layout rnds2 wants.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);          // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);    // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);      // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);           // CDGH
+
+  for (size_t b = 0; b < count; ++b) {
+    const uint8_t* block = blocks + 64 * b;
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    __m128i msgs[4];
+    for (int q = 0; q < 16; ++q) {
+      if (q < 4) {
+        msgs[q] = _mm_shuffle_epi8(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(block + 16 * q)),
+            kMask);
+      }
+      __m128i msg = _mm_add_epi32(
+          msgs[q & 3], _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                           &kSha256K[4 * q])));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      if (q >= 3 && q < 15) {
+        // Schedule the next quad's words: w[t] needs w[t-7] (the alignr
+        // across the previous register) and the msg2 sigma fold.
+        const __m128i cur = msgs[q & 3];
+        const __m128i prev = msgs[(q + 3) & 3];
+        __m128i& nxt = msgs[(q + 1) & 3];
+        nxt = _mm_add_epi32(nxt, _mm_alignr_epi8(cur, prev, 4));
+        nxt = _mm_sha256msg2_epu32(nxt, cur);
+      }
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+      if (q >= 1 && q < 13) {
+        msgs[(q + 3) & 3] =
+            _mm_sha256msg1_epu32(msgs[(q + 3) & 3], msgs[q & 3]);
+      }
+    }
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+  }
+
+  // Repack ABEF/CDGH back to A..H.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);       // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);    // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);           // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);              // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+}  // namespace dapes::crypto::kernels
+
+#endif  // DAPES_SHA256_X86

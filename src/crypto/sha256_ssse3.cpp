@@ -1,0 +1,61 @@
+/// @file
+/// SSSE3 4-wide multi-buffer SHA-256 kernel: four independent messages in
+/// the four 32-bit lanes of an xmm register. Compiled with -mssse3 (see
+/// CMakeLists.txt); the round logic lives in sha256_multi_impl.hpp.
+
+#include "crypto/sha256_kernels.hpp"
+
+#if DAPES_SHA256_X86
+
+#include <immintrin.h>
+
+#include "crypto/sha256_multi_impl.hpp"
+
+namespace dapes::crypto::kernels {
+namespace {
+
+/// Vector traits over __m128i: 4 lanes of 32 bits.
+struct V4 {
+  __m128i v;
+
+  static constexpr int kLanes = 4;
+
+  static V4 set1(uint32_t x) { return {_mm_set1_epi32(static_cast<int>(x))}; }
+  static V4 load(const uint32_t* p) {
+    return {_mm_load_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  static void store(uint32_t* p, V4 x) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(p), x.v);
+  }
+  static V4 add(V4 a, V4 b) { return {_mm_add_epi32(a.v, b.v)}; }
+  static V4 xor_(V4 a, V4 b) { return {_mm_xor_si128(a.v, b.v)}; }
+  static V4 and_(V4 a, V4 b) { return {_mm_and_si128(a.v, b.v)}; }
+  static V4 or_(V4 a, V4 b) { return {_mm_or_si128(a.v, b.v)}; }
+  /// ~a & b (the x86 andnot operand order).
+  static V4 andnot(V4 a, V4 b) { return {_mm_andnot_si128(a.v, b.v)}; }
+  template <int N>
+  static V4 shr(V4 a) {
+    return {_mm_srli_epi32(a.v, N)};
+  }
+  template <int N>
+  static V4 rotr(V4 a) {
+    return {_mm_or_si128(_mm_srli_epi32(a.v, N), _mm_slli_epi32(a.v, 32 - N))};
+  }
+  /// Per-lane 32-bit byte swap (SSSE3 pshufb).
+  static V4 bswap(V4 a) {
+    const __m128i mask = _mm_set_epi8(12, 13, 14, 15, 8, 9, 10, 11,  //
+                                      4, 5, 6, 7, 0, 1, 2, 3);
+    return {_mm_shuffle_epi8(a.v, mask)};
+  }
+};
+
+}  // namespace
+
+void sha256_x4_ssse3(const Sha256Lane* lanes, size_t total_blocks,
+                     Digest* out) {
+  sha256_multi<V4>(lanes, total_blocks, out);
+}
+
+}  // namespace dapes::crypto::kernels
+
+#endif  // DAPES_SHA256_X86

@@ -23,6 +23,7 @@ void warm_packet_caches(std::vector<ndn::Data>& packets) {
   for (const ndn::Data& segment : packets) {
     segment.wire();
     segment.name().hash();
+    segment.content_digest();
   }
 }
 

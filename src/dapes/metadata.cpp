@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "crypto/verify_cache.hpp"
 #include "ndn/tlv.hpp"
 
 namespace dapes::core {
@@ -204,7 +205,7 @@ std::optional<bool> Metadata::verify_packet(size_t file_index, uint64_t seq,
   if (file_index >= files_.size()) return false;
   const auto& file = files_[file_index];
   if (seq >= file.packet_digests.size()) return false;
-  return crypto::Sha256::hash(content) == file.packet_digests[seq];
+  return crypto::cached_content_digest(content) == file.packet_digests[seq];
 }
 
 bool Metadata::verify_file(

@@ -98,6 +98,14 @@ struct ScenarioParams {
   /// trial_threads; see EXPERIMENTS.md). Requires the grid medium
   /// (incompatible with brute_force_medium).
   int trial_threads = 0;
+  /// Per-trial verify-result cache + delivery prewarm (DESIGN.md "Crypto
+  /// engine & verify cache"): each delivered Data frame is hashed and
+  /// MAC-checked once per broadcast, and every receiver serves its
+  /// verify from the cache. The cache is exact, so all trial metrics are
+  /// identical on or off; `false` (`--no-verify-cache`) retains the
+  /// per-receiver scalar verify path as the reference, which
+  /// test_verify_cache diffs against.
+  bool verify_cache = true;
   /// Structured event tracing (`--trace <sink>[:<path>]`). Disabled by
   /// default (empty sink): no records, no buffers, and the instrumented
   /// hot paths pay one thread-local null check per potential event.

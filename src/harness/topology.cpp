@@ -42,6 +42,21 @@ Topology::Topology(const ScenarioParams& params, uint64_t seed,
       ndn::Name(collection_name), std::move(files), params.packet_size,
       params.metadata_format, producer_key);
 
+  if (params.verify_cache) {
+    // One cache per trial, installed three ways: into this (the trial's
+    // coordinator) thread for the serial receive path, into the medium's
+    // delivery prewarm so every Data broadcast is hashed/MAC-checked
+    // once per frame, and — via the prewarm's worker hooks — into the
+    // phase-parallel fan-out lanes. The cache is exact; results are
+    // identical with the knob off (test_verify_cache diffs them).
+    verify_cache = std::make_unique<crypto::VerifyCache>();
+    verify_prewarm =
+        std::make_unique<ndn::DataVerifyPrewarm>(*verify_cache, keys);
+    verify_scope =
+        std::make_unique<crypto::VerifyCacheScope>(verify_cache.get());
+    medium->set_prewarm(verify_prewarm.get());
+  }
+
   if (params.trace.enabled()) {
     // Installed before any node or route exists so setup-time table
     // events are captured too. The clock reads this trial's scheduler —

@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "crypto/keychain.hpp"
+#include "crypto/verify_cache.hpp"
 #include "harness/scenario.hpp"
+#include "ndn/verify_prewarm.hpp"
 #include "sim/medium.hpp"
 #include "sim/mobility.hpp"
 #include "sim/scheduler.hpp"
@@ -38,6 +40,19 @@ struct Topology {
   std::shared_ptr<core::Collection> collection;  ///< the shared workload
   /// Owned mobility models, one per created node.
   std::vector<std::unique_ptr<sim::MobilityModel>> mobility;
+  /// Per-trial verify-result cache (null when params.verify_cache is
+  /// off). One instance per trial so `--jobs` fan-out never shares
+  /// cache state across concurrent trials.
+  std::unique_ptr<crypto::VerifyCache> verify_cache;
+  /// Delivery prewarm that fills verify_cache once per Data broadcast.
+  /// The medium holds a raw pointer to it (set_prewarm) but only invokes
+  /// it while delivering frames, which no destructor does, so the member
+  /// order relative to medium is immaterial.
+  std::unique_ptr<ndn::DataVerifyPrewarm> verify_prewarm;
+  /// Thread-local cache installation for the trial (coordinator) thread;
+  /// fan-out lanes get theirs from the prewarm's worker hooks. Declared
+  /// after verify_cache so it is torn down first.
+  std::unique_ptr<crypto::VerifyCacheScope> verify_scope;
   /// The trial's event tracer, built from params.trace when enabled
   /// (null otherwise) and installed into this thread for the topology's
   /// lifetime via trace_scope below.

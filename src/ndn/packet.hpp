@@ -177,14 +177,20 @@ class Data {
 
   /// Content payload (a view into the decode buffer after decode()).
   BytesView content() const { return content_.view(); }
-  /// Set content from owned bytes (invalidates the wire cache).
+  /// The content as an anchored slice (after decode(), a ref-counted
+  /// view into the frame buffer). The delivery prewarm stores it as the
+  /// digest-cache anchor.
+  const BufferSlice& content_slice() const { return content_; }
+  /// Set content from owned bytes (invalidates the wire and digest caches).
   void set_content(Bytes content) {
     content_ = BufferSlice(std::move(content));
+    content_digest_.reset();
     invalidate_wire();
   }
-  /// Set content as a shared slice (invalidates the wire cache).
+  /// Set content as a shared slice (invalidates the wire and digest caches).
   void set_content(BufferSlice content) {
     content_ = std::move(content);
+    content_digest_.reset();
     invalidate_wire();
   }
 
@@ -199,13 +205,21 @@ class Data {
   /// The signature, if the packet has been signed or decoded with one.
   const std::optional<crypto::Signature>& signature() const { return signature_; }
 
-  /// Sign with the producer's key: binds (name, content).
+  /// Sign with the producer's key: binds (name, SHA-256(content)). Warms
+  /// the content-digest cache as a side effect.
   void sign(const crypto::PrivateKey& key);
 
-  /// Verify against a keychain. Unsigned data never verifies.
+  /// Verify against a keychain. Unsigned data never verifies. When a
+  /// per-trial crypto::VerifyCache is installed, a cached verdict for
+  /// this packet's wire buffer short-circuits the whole check (digest,
+  /// URI formatting and MAC included).
   bool verify(const crypto::KeyChain& keychain) const;
 
-  /// SHA-256 over the content (used by metadata digests and Merkle leaves).
+  /// SHA-256 over the content (used by metadata digests, Merkle leaves
+  /// and the MAC). Hashed at most once per packet: memoized here, and
+  /// served from the trial's VerifyCache — warmed once per broadcast
+  /// frame — before being computed at all. Like wire(), the memo is
+  /// per-instance; shared DataPtrs pre-warm it at creation.
   crypto::Digest content_digest() const;
 
   /// The cached wire encoding; serialized at most once per mutation.
@@ -239,6 +253,9 @@ class Data {
   Duration freshness_ = Duration::milliseconds(10000);
   std::optional<crypto::Signature> signature_;
   mutable BufferSlice wire_;
+  /// Lazy SHA-256 of content_ (see content_digest()); reset whenever the
+  /// content changes.
+  mutable std::optional<crypto::Digest> content_digest_;
 };
 
 /// Shared, immutable Data handle: the CS, the forwarding pipeline,

@@ -321,6 +321,10 @@ void Medium::deliver(uint64_t tx_id) {
 
   DAPES_TRACE_EVENT(trace::EventType::kMediumDeliver, tx.frame->sender,
                     tx.id);
+  if (prewarm_) {
+    prewarm_->stage(&tx.frame, 1);
+    prewarm_->commit(*tx.frame);
+  }
   TxReport report;
   if (params_.brute_force) {
     const NodeId sender = tx.frame->sender;
@@ -357,6 +361,19 @@ void Medium::deliver_batch(uint64_t first_id) {
   claim_buf_.push_back(first_id);
   sched_.claim_tagged(sched_.now(), claim_buf_);
 
+  // Stage the whole batch up front so the prewarm can batch its work
+  // (e.g. multi-buffer hashing) across every same-instant frame. Staging
+  // is side-effect-free by contract; the observable commits happen below,
+  // per transmission, in the same canonical order as the serial path.
+  if (prewarm_) {
+    stage_buf_.clear();
+    for (uint64_t id : claim_buf_) {
+      auto it = active_.find(id);
+      if (it != active_.end()) stage_buf_.push_back(it->second.frame);
+    }
+    prewarm_->stage(stage_buf_.data(), stage_buf_.size());
+  }
+
   // Decide every outcome serially, in canonical order: transmissions in
   // claim (= insertion) order, receivers in ascending id within each.
   // This keeps the unit-disk reference's shared-stream draws, the stats
@@ -377,6 +394,7 @@ void Medium::deliver_batch(uint64_t first_id) {
 
     DAPES_TRACE_EVENT(trace::EventType::kMediumDeliver, tx.frame->sender,
                       tx.id);
+    if (prewarm_) prewarm_->commit(*tx.frame);
     TxReport report;
     for (const auto& [receiver, rp] : tx.receivers) {
       if (decide_one(tx, receiver, rp, report) &&
@@ -444,6 +462,18 @@ void Medium::deliver_batch(uint64_t first_id) {
     executor_->run(chains.size(), [&](size_t ci) {
       trace::TrialScope trace_trial(tracer);
       trace::NodeScope trace_node(chains[ci].node);
+      // Give the protocol callbacks on this lane the prewarm's
+      // thread-local state (the active verify cache); RAII so the lane's
+      // previous state survives an item throwing.
+      struct WorkerBind {
+        DeliveryPrewarm* p;
+        explicit WorkerBind(DeliveryPrewarm* prewarm) : p(prewarm) {
+          if (p) p->bind_worker();
+        }
+        ~WorkerBind() {
+          if (p) p->unbind_worker();
+        }
+      } bind(prewarm_);
       for (uint32_t slot : chains[ci].items) {
         sched_.bind_phase_slot(slot);
         items[slot].run();

@@ -81,6 +81,42 @@ struct Frame {
 /// Shared immutable frame handle (one allocation per broadcast).
 using FramePtr = std::shared_ptr<const Frame>;
 
+/// Hook invoked around frame delivery so an upper layer can pre-compute
+/// per-frame work once per broadcast instead of once per receiver (the
+/// verify-cache layer: one digest + MAC verdict per frame, served to all
+/// N in-range receivers; see DESIGN.md "Crypto engine & verify cache").
+///
+/// Contract, designed so the serial and phase-parallel delivery paths
+/// stay bit-identical:
+///   * `stage` runs on the coordinator before any receiver callback of
+///     the delivery (serial: per frame; parallel: once for the whole
+///     same-instant batch). It must be free of observable side effects —
+///     no cache writes, no trace events — so the differing stage timing
+///     between the two paths cannot leak.
+///   * `commit` runs on the coordinator once per transmission, in
+///     canonical delivery order, immediately after the medium's deliver
+///     trace event. This is the only place the hook may publish state or
+///     emit events; any "was it already cached" flag must be decided
+///     here, at commit time, not at stage time.
+///   * `bind_worker`/`unbind_worker` bracket a fan-out chain on a worker
+///     lane (properly nested per thread) so the hook can install
+///     thread-local state — e.g. the active verify cache — for the
+///     protocol callbacks running there. Must restore the previous
+///     thread state on unbind: with trial_threads == 1 the "lane" is the
+///     coordinator thread itself.
+class DeliveryPrewarm {
+ public:
+  virtual ~DeliveryPrewarm() = default;
+  /// Inspect the frames about to be delivered (side-effect-free).
+  virtual void stage(const FramePtr* frames, size_t count) = 0;
+  /// Publish staged state for @p frame (coordinator, canonical order).
+  virtual void commit(const Frame& frame) = 0;
+  /// Install thread-local state on a fan-out lane.
+  virtual void bind_worker() = 0;
+  /// Restore the lane's previous thread-local state.
+  virtual void unbind_worker() = 0;
+};
+
 /// Aggregate medium statistics for one trial.
 struct MediumStats {
   uint64_t transmissions = 0;   ///< frames put on the air
@@ -225,6 +261,13 @@ class Medium {
   /// traffic: frames already in flight keep their start-time range.
   void set_node_range_factor(NodeId node, double factor);
 
+  /// Install (or clear, with nullptr) the delivery prewarm hook. The
+  /// medium does not own it; the caller keeps it alive while frames are
+  /// in flight. Install during setup, before traffic.
+  void set_prewarm(DeliveryPrewarm* prewarm) { prewarm_ = prewarm; }
+  /// The installed delivery prewarm hook (null when none).
+  DeliveryPrewarm* prewarm() const { return prewarm_; }
+
   /// Aggregate statistics since construction.
   const MediumStats& stats() const { return stats_; }
   /// Mutable statistics access (drivers reset per-phase counters).
@@ -336,6 +379,10 @@ class Medium {
   std::atomic<bool> fanout_active_{false};
   /// Reused claim buffer for deliver_batch.
   std::vector<uint64_t> claim_buf_;
+  /// Delivery prewarm hook (verify-cache layer); null when disabled.
+  DeliveryPrewarm* prewarm_ = nullptr;
+  /// Reused frame buffer for deliver_batch's stage pre-pass.
+  std::vector<FramePtr> stage_buf_;
 
   /// Lazy spatial index of node positions (grid mode). Entries hold the
   /// position at build time; queries inflate their radius by the drift

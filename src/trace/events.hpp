@@ -60,6 +60,14 @@ enum class EventType : uint16_t {
   kStratKnowledgeForward,   ///< knowledge says available -> forward
   kStratKnowledgeSuppress,  ///< knowledge says missing -> suppress
   kStratTimeout,            ///< relayed Interest timed out
+  // Crypto verify-cache layer (DESIGN.md "Crypto engine & verify cache").
+  /// Verify-cache commit for one delivered Data frame; args: cached flag
+  /// (1 = the frame's digest+verdict were already cached at commit time,
+  /// 0 = freshly computed by the prewarm), frame bytes. Emitted on the
+  /// coordinator right after medium.deliver in both the serial and the
+  /// phase-parallel path, with the flag decided at commit time, so the
+  /// merged trace is bit-identical across --trial-threads values.
+  kCryptoPrewarm,
 
   kCount  ///< number of event types (not a valid event)
 };
@@ -117,6 +125,7 @@ class EventTypeRegistryValues {
     put(EventType::kStratKnowledgeForward, "strategy.knowledge_forward");
     put(EventType::kStratKnowledgeSuppress, "strategy.knowledge_suppress");
     put(EventType::kStratTimeout, "strategy.timeout");
+    put(EventType::kCryptoPrewarm, "crypto.prewarm");
   }
 
   /// Well-known name of @p t ("?" for an out-of-range id, which only a
