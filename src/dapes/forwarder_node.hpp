@@ -54,6 +54,14 @@ class ForwarderNode {
   /// Knowledge footprint (0 for pure forwarders), for Table-I reporting.
   size_t state_bytes() const;
 
+  /// Crash-recovery wipe, parallel to Peer::crash: clear the radio queue
+  /// and pending delayed sends so a restarted relay powers on clean. The
+  /// harness retires/revives the node on the medium around this.
+  void crash_reset() {
+    radio_->reset();
+    wifi_face_->reset();
+  }
+
  private:
   sim::NodeId node_ = 0;
   std::unique_ptr<sim::Radio> radio_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace dapes::core {
 
@@ -53,10 +54,12 @@ Peer::Peer(sim::Scheduler& sched, sim::Medium& medium,
   key_ = keychain_.generate_key(options_.id);
 
   wifi_face_ = nullptr;  // created after node registration (needs radio)
-  node_ = medium_.add_node(mobility, [this](const sim::FramePtr& frame,
-                                            sim::NodeId /*receiver*/) {
-    if (wifi_face_) wifi_face_->on_frame(frame);
-  });
+  node_ = medium_.add_node(
+      mobility,
+      [this](const sim::FramePtr& frame, sim::NodeId /*receiver*/) {
+        if (wifi_face_) wifi_face_->on_frame(frame);
+      },
+      /*alive=*/!options_.latent);
   radio_ = std::make_unique<sim::Radio>(sched_, medium_, node_, rng_.fork());
   forwarder_ = std::make_unique<ndn::Forwarder>(
       sched_, ndn::Forwarder::Options{options_.cs_capacity, true});
@@ -90,6 +93,36 @@ void Peer::start() {
   Duration initial = Duration::microseconds(static_cast<int64_t>(
       rng_.next_below(static_cast<uint64_t>(discovery_period_.us) + 1)));
   sched_.schedule(initial, [this] { discovery_tick(); });
+}
+
+void Peer::crash() {
+  // The harness has already retired the node on the medium and swept its
+  // scheduled events; here we drop the volatile state those events were
+  // driving so a later restart() begins from a clean power-on.
+  radio_->reset();
+  wifi_face_->reset();
+  neighbors_.clear();
+  discovery_period_ = options_.discovery_period_min;
+  for (auto& [name, st] : downloads_) {
+    st.in_flight.clear();
+    st.adv_timer = sim::EventId{};
+    st.adv_pending = false;
+    st.union_valid = false;
+    st.bitmaps_heard_this_round = 0;
+    st.collision_round = 0;
+    if (!st.completed_at) st.fetching_enabled = false;
+    // The metadata retry timer (which clears this flag on silence) was
+    // swept with the rest of our events; without this reset a crash
+    // mid-retrieval would wedge the download forever.
+    if (!st.metadata) st.metadata_requested = false;
+    // `have`, retry_count, completed_at and the RPF survive: downloaded
+    // packets are on disk, and encounter history is durable by design.
+  }
+}
+
+void Peer::restart() {
+  // Same entry point as the initial start: a fresh discovery dither.
+  start();
 }
 
 void Peer::publish(std::shared_ptr<Collection> collection) {
@@ -496,6 +529,14 @@ void Peer::send_bitmap_announcement(const Name& collection) {
   msg.round = st->adv_round;
   msg.layout = st->layout.files();
   msg.bitmap = st->have;
+  if (options_.lie_in_bitmaps) {
+    // Adversarial peer: claim everything, serve nothing (serve_interest
+    // still consults the real `have`, so the lie never produces data).
+    for (size_t i = 0; i < msg.bitmap.size(); ++i) msg.bitmap.set(i);
+    DAPES_TRACE_EVENT(trace::EventType::kPeerLied, node_,
+                      static_cast<uint64_t>(msg.bitmap.size()),
+                      static_cast<uint64_t>(st->have.count()));
+  }
 
   ndn::Interest interest(
       bitmap_data_name(collection, options_.id, st->adv_round));
@@ -596,6 +637,10 @@ void Peer::pump_fetch(const Name& collection) {
   if (st == nullptr || !st->metadata || !st->fetching_enabled) return;
   if (st->completed_at && st->have.full()) return;
 
+  if (options_.knowledge_ttl.us > 0 && st->rpf) {
+    st->rpf->expire_older_than(sched_.now() - options_.knowledge_ttl);
+  }
+
   // Without any fresh neighbor there is nobody to answer; stay quiet
   // until the next encounter.
   bool fresh = false;
@@ -638,6 +683,13 @@ void Peer::handle_packet_timeout(const Name& collection, size_t index) {
   st->in_flight.erase(it);
   ++st->retry_count[index];
   ++stats_.interest_timeouts;
+  if (options_.stale_retry_limit > 0 && st->rpf &&
+      st->retry_count[index] % options_.stale_retry_limit == 0) {
+    // Every known holder of this packet failed to answer a full retry
+    // budget: the availability claims are stale (departed holder) or
+    // false (liar). Demote them so the plan moves on.
+    st->rpf->on_fetch_failed(index);
+  }
   pump_fetch(collection);
 }
 

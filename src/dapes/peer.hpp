@@ -80,6 +80,27 @@ struct PeerOptions {
   double forward_probability = 0.2;  ///< relay probability when multihop
 
   size_t cs_capacity = 4096;  ///< content-store entry cap
+
+  // --- open-membership knobs (churn.* scenarios; defaults keep the
+  // fixed-population paper sweeps byte-identical) ---
+
+  /// Register the node on the medium but leave it dead and unstarted:
+  /// a latent peer waiting for a FaultPlan admission (kJoin), which
+  /// revives the node and calls start().
+  bool latent = false;
+  /// Adversarial peer: bitmap announcements claim every packet while the
+  /// real store stays empty (advertise everything, serve nothing). Traces
+  /// `peer.lied` per announcement.
+  bool lie_in_bitmaps = false;
+  /// Drop RPF bitmap knowledge older than this (0 = keep forever, the
+  /// fixed-population behaviour). Under churn a silent neighbor has
+  /// likely left; without expiry its bitmap poisons rarity estimates.
+  common::Duration knowledge_ttl = common::Duration::microseconds(0);
+  /// After this many consecutive timeouts on the same packet, tell the
+  /// RPF the availability claim was wrong (FetchStrategy::on_fetch_failed)
+  /// so departed holders and liars decay. 0 = never (fixed-population
+  /// behaviour: timeouts keep retrying without touching knowledge).
+  int stale_retry_limit = 0;
 };
 
 /// A full DAPES node: radio, forwarder and the four-step application
@@ -95,6 +116,18 @@ class Peer {
 
   /// Start the discovery loop. Call once after construction.
   void start();
+
+  /// Crash the node: wipe volatile protocol state (radio queue, pending
+  /// sends, neighbor table, in-flight Interests, advertisement rounds) as
+  /// a power-cycle would. Durable state survives — downloaded packets,
+  /// completions, keys, cumulative stats. The harness retires the node on
+  /// the medium and sweeps its timers (Scheduler::cancel_for_node)
+  /// around this call; see DESIGN.md "Fault injection & open membership".
+  void crash();
+
+  /// Come back after a crash (or latent admission): re-enter the
+  /// discovery loop. The harness revives the node on the medium first.
+  void restart();
 
   /// Publish a collection: this peer holds every packet and serves as the
   /// producer (its key already signed the packets).

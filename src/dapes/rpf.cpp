@@ -132,6 +132,31 @@ class LocalNeighborhoodRpf final : public RpfBase {
     neighbors_.erase(it);
   }
 
+  void on_fetch_failed(size_t index) override {
+    if (index >= total_) return;
+    // Clear the claimed bit in every stored bitmap (keeping the counts
+    // consistent with what remove_counts will later subtract) so liar
+    // poison and departed holders decay instead of wedging the plan.
+    for (auto& [id, nb] : neighbors_) {
+      if (index < nb.bitmap.size() && nb.bitmap.test(index)) {
+        nb.bitmap.set(index, false);
+        if (have_counts_[index] > 0) --have_counts_[index];
+        dirty_ = true;
+      }
+    }
+  }
+
+  void expire_older_than(TimePoint cutoff) override {
+    for (auto it = neighbors_.begin(); it != neighbors_.end();) {
+      if (it->second.received < cutoff) {
+        remove_counts(it->second.bitmap);
+        it = neighbors_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   RpfKind kind() const override { return RpfKind::kLocalNeighborhood; }
 
   size_t state_bytes() const override {
@@ -180,6 +205,20 @@ class EncounterBasedRpf final : public RpfBase {
   void on_neighbor_lost(const std::string& /*peer_id*/) override {
     // Encounter history outlives the encounter by design.
   }
+
+  void on_fetch_failed(size_t index) override {
+    if (index >= total_) return;
+    // Same claim demotion as the local variant, over the history.
+    for (auto& [id, nb] : by_peer_) {
+      if (index < nb.bitmap.size() && nb.bitmap.test(index)) {
+        nb.bitmap.set(index, false);
+        if (have_counts_[index] > 0) --have_counts_[index];
+        dirty_ = true;
+      }
+    }
+  }
+
+  // expire_older_than: default no-op — history outlives encounters.
 
   RpfKind kind() const override { return RpfKind::kEncounterBased; }
 

@@ -66,6 +66,20 @@ class FetchStrategy {
   /// True if any known holder has packet @p index.
   virtual bool known_available(size_t index) const = 0;
 
+  /// Availability knowledge for @p index proved wrong — repeated fetch
+  /// timeouts against peers whose bitmaps claim to hold it (a departed
+  /// or lying peer). Implementations demote the claim so the plan stops
+  /// chasing it; the default keeps the knowledge (fixed-population
+  /// behaviour). See PeerOptions::stale_retry_limit.
+  virtual void on_fetch_failed(size_t index) { (void)index; }
+
+  /// Drop bitmap knowledge received before @p cutoff — time-based expiry
+  /// for open-membership swarms where a silent neighbor has likely left.
+  /// The default keeps everything (fixed-population behaviour); the
+  /// encounter-based variant also keeps history by design. See
+  /// PeerOptions::knowledge_ttl.
+  virtual void expire_older_than(TimePoint cutoff) { (void)cutoff; }
+
   /// Which RPF variant this is.
   virtual RpfKind kind() const = 0;
   /// Number of bitmaps currently informing rarity estimates.

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "harness/channel_scenarios.hpp"
+#include "harness/churn.hpp"
 #include "harness/realworld.hpp"
 #include "harness/scale.hpp"
 
@@ -50,6 +51,8 @@ ProtocolDriverRegistry::ProtocolDriverRegistry() {
   add(ProtocolNames::kScaleMedium, run_medium_stress_trial);
   add(ProtocolNames::kLossSweep, run_loss_sweep_trial);
   add(ProtocolNames::kHeteroRadio, run_hetero_radio_trial);
+  add(ProtocolNames::kChurnSwarm, run_churn_swarm_trial);
+  add(ProtocolNames::kChurnFlash, run_churn_flash_trial);
 }
 
 ProtocolDriverRegistry& ProtocolDriverRegistry::instance() {

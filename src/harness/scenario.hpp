@@ -22,6 +22,7 @@
 
 #include "dapes/peer.hpp"
 #include "sim/channel.hpp"
+#include "sim/faults.hpp"
 #include "trace/record.hpp"
 
 namespace dapes::harness {
@@ -84,6 +85,13 @@ struct ScenarioParams {
 
   /// Peer configuration applied to every downloader.
   core::PeerOptions peer{};
+
+  /// Open-membership fault injection (churn.* scenarios): Poisson
+  /// leave/join churn, crash+restart outages, flash crowds, seeder
+  /// departure, adversarial bitmap liars. All defaults off — the
+  /// fixed-population paper sweeps take the unwired byte-identical path
+  /// (see DESIGN.md "Fault injection & open membership").
+  sim::FaultParams faults;
 
   double sim_limit_s = 3000.0;  ///< simulated-time cap per trial
   uint64_t seed = 1;            ///< trial RNG seed

@@ -144,6 +144,15 @@ class WifiFace final : public Face {
     next_interest_cb_ = std::move(cb);
   }
 
+  /// Crash-recovery wipe (see Peer::crash): cancel every pending delayed
+  /// Data send and drop the one-shot completion hook. Counters survive —
+  /// they are cumulative over the node's lifetime.
+  void reset() {
+    for (auto& [name, entry] : pending_data_) sched_.cancel(entry.second);
+    pending_data_.clear();
+    next_interest_cb_ = nullptr;
+  }
+
   /// Interests actually put on the air.
   uint64_t interests_sent() const { return interests_sent_; }
   /// Data packets actually put on the air.

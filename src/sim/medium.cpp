@@ -58,12 +58,51 @@ void Medium::check_not_in_phase(const char* what) const {
   }
 }
 
-NodeId Medium::add_node(MobilityModel* mobility, ReceiveCallback on_receive) {
+NodeId Medium::add_node(MobilityModel* mobility, ReceiveCallback on_receive,
+                        bool alive) {
+  // Same loud guard as transmit/position reads: the fan-out lanes index
+  // nodes_ concurrently, so membership may only change on the coordinator
+  // between phases.
+  check_not_in_phase("add_node");
   if (mobility == nullptr) {
     throw std::invalid_argument("Medium::add_node: null mobility");
   }
-  nodes_.push_back(NodeEntry{mobility, std::move(on_receive), 1.0});
-  return static_cast<NodeId>(nodes_.size() - 1);
+  NodeEntry entry{mobility, std::move(on_receive), 1.0};
+  entry.alive = alive;
+  entry.joined = sched_.now();
+  nodes_.push_back(std::move(entry));
+  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  if (alive) {
+    DAPES_TRACE_EVENT(trace::EventType::kNodeJoin, id, /*revive=*/0);
+  }
+  return id;
+}
+
+void Medium::retire_node(NodeId node) {
+  check_not_in_phase("retire_node");
+  NodeEntry& entry = nodes_.at(node);
+  if (!entry.alive) return;
+  entry.alive = false;
+  // No grid surgery needed: the node grid is a candidate index and every
+  // query re-checks the exact predicate, which now rejects this node.
+  DAPES_TRACE_EVENT(trace::EventType::kNodeLeave, node);
+}
+
+void Medium::revive_node(NodeId node) {
+  check_not_in_phase("revive_node");
+  NodeEntry& entry = nodes_.at(node);
+  if (entry.alive) return;
+  entry.alive = true;
+  entry.joined = sched_.now();
+  DAPES_TRACE_EVENT(trace::EventType::kNodeJoin, node, /*revive=*/1);
+}
+
+size_t Medium::alive_count() const {
+  size_t count = 0;
+  for (const NodeEntry& entry : nodes_) {
+    if (entry.alive) ++count;
+  }
+  return count;
 }
 
 void Medium::set_node_range_factor(NodeId node, double factor) {
@@ -155,7 +194,7 @@ void Medium::for_each_in_range(Vec2 center, double radius_m, NodeId exclude,
   const TimePoint now = sched_.now();
   if (params_.brute_force) {
     for (NodeId other = 0; other < nodes_.size(); ++other) {
-      if (other == exclude) continue;
+      if (other == exclude || !nodes_[other].alive) continue;
       Vec2 p = nodes_[other].mobility->position_at(now);
       if (within_range(center, p, radius_m)) fn(other, p);
     }
@@ -165,7 +204,7 @@ void Medium::for_each_in_range(Vec2 center, double radius_m, NodeId exclude,
   node_grid_.for_each_candidate(
       center, radius_m + node_grid_slack(), [&](uint64_t id, Vec2) {
         NodeId other = static_cast<NodeId>(id);
-        if (other == exclude) return;
+        if (other == exclude || !nodes_[other].alive) return;
         Vec2 p = nodes_[other].mobility->position_at(now);
         if (within_range(center, p, radius_m)) fn(other, p);
       });
@@ -194,6 +233,12 @@ void Medium::transmit(FramePtr frame, SendCompleteCallback on_complete) {
     throw std::invalid_argument("Medium::transmit: null frame");
   }
   const NodeId sender = frame->sender;
+  if (!nodes_.at(sender).alive) {
+    // A retired node transmitting means its teardown missed a timer —
+    // fail loudly rather than let a ghost keep jamming the channel.
+    throw std::logic_error("Medium::transmit: sender " +
+                           std::to_string(sender) + " is retired");
+  }
   const TimePoint start = sched_.now();
   const TimePoint end =
       start + frame_duration(frame->payload.size()) + params_.propagation;
@@ -330,22 +375,32 @@ void Medium::deliver(uint64_t tx_id) {
     const NodeId sender = tx.frame->sender;
     for (NodeId receiver = 0; receiver < nodes_.size(); ++receiver) {
       if (receiver == sender) continue;
+      if (!delivery_eligible(receiver, tx.start)) continue;
       Vec2 rp = nodes_[receiver].mobility->position_at(tx.start);
       if (!within_range(rp, tx.sender_pos, tx.coverage_m)) continue;
       deliver_one(tx, receiver, rp, report);
     }
   } else {
+    // The captured set only holds nodes alive at start; eligibility
+    // re-checks against membership changes since (see delivery_eligible
+    // for why the two paths agree).
     for (const auto& [receiver, rp] : tx.receivers) {
+      if (!delivery_eligible(receiver, tx.start)) continue;
       deliver_one(tx, receiver, rp, report);
     }
   }
 
   if (report.collided_anywhere()) ++stats_.collided_frames;
-  if (tx.on_complete) {
+  // A sender retired mid-flight gets no completion callback: its radio
+  // state was torn down, and resuming its CSMA chain would make a ghost
+  // transmit (which the transmit guard turns into a throw).
+  if (tx.on_complete && nodes_[tx.frame->sender].alive) {
     // Node context for the sender's completion handler, mirroring the
     // phase-parallel engine where the completion item runs in the
-    // sender's chain.
+    // sender's chain; owner context so the chain's follow-up timers are
+    // cancellable by node.
     trace::NodeScope scope(tx.frame->sender);
+    Scheduler::OwnerScope own(sched_, tx.frame->sender);
     tx.on_complete(report);
   }
 }
@@ -397,6 +452,7 @@ void Medium::deliver_batch(uint64_t first_id) {
     if (prewarm_) prewarm_->commit(*tx.frame);
     TxReport report;
     for (const auto& [receiver, rp] : tx.receivers) {
+      if (!delivery_eligible(receiver, tx.start)) continue;
       if (decide_one(tx, receiver, rp, report) &&
           nodes_[receiver].on_receive) {
         const NodeId r = receiver;
@@ -406,7 +462,8 @@ void Medium::deliver_batch(uint64_t first_id) {
       }
     }
     if (report.collided_anywhere()) ++stats_.collided_frames;
-    if (tx.on_complete) {
+    // Same dead-sender completion skip as the serial path.
+    if (tx.on_complete && nodes_[tx.frame->sender].alive) {
       items.push_back({tx.frame->sender,
                        [cb = std::move(tx.on_complete), report] {
                          cb(report);
@@ -462,6 +519,10 @@ void Medium::deliver_batch(uint64_t first_id) {
     executor_->run(chains.size(), [&](size_t ci) {
       trace::TrialScope trace_trial(tracer);
       trace::NodeScope trace_node(chains[ci].node);
+      // Owner context for the whole chain (all items belong to one
+      // node), mirroring the serial path's per-callback OwnerScope:
+      // staged schedule ops capture it so end_phase re-applies it.
+      Scheduler::OwnerScope own(sched_, chains[ci].node);
       // Give the protocol callbacks on this lane the prewarm's
       // thread-local state (the active verify cache); RAII so the lane's
       // previous state survives an item throwing.
@@ -494,8 +555,10 @@ void Medium::deliver_one(const ActiveTx& tx, NodeId receiver,
   if (decide_one(tx, receiver, receiver_pos, report) &&
       nodes_[receiver].on_receive) {
     // Node context for the protocol callback, mirroring the
-    // phase-parallel engine's per-chain NodeScope.
+    // phase-parallel engine's per-chain NodeScope; owner context so
+    // receive-path timers are cancellable by node.
     trace::NodeScope scope(receiver);
+    Scheduler::OwnerScope own(sched_, receiver);
     nodes_[receiver].on_receive(tx.frame, receiver);
   }
 }

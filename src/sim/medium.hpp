@@ -195,8 +195,38 @@ class Medium {
   /// std::invalid_argument on an unknown model name).
   Medium(Scheduler& sched, Params params, common::Rng rng);
 
-  /// Register a node. The medium does not own the mobility model.
-  NodeId add_node(MobilityModel* mobility, ReceiveCallback on_receive);
+  /// Register a node. The medium does not own the mobility model. With
+  /// @p alive false the node is registered *latent*: invisible to every
+  /// connectivity query (delivery, neighbor sets, carrier sense) until
+  /// `revive_node` admits it — how the fault layer pre-creates
+  /// flash-crowd peers so mid-trial admission never perturbs RNG
+  /// streams. Never callable during a fan-out phase.
+  NodeId add_node(MobilityModel* mobility, ReceiveCallback on_receive,
+                  bool alive = true);
+
+  /// Retire a node: it stops being delivered to, stops appearing in
+  /// neighbor/carrier-sense/collision queries, and may no longer
+  /// transmit (transmit throws). Frames it already put on the air keep
+  /// delivering — they left the antenna. Idempotent. Never callable
+  /// during a fan-out phase (membership is coordinator-only state), and
+  /// the caller is expected to follow up with
+  /// `Scheduler::cancel_for_node` so the node's pending timers cannot
+  /// fire into torn-down state.
+  void retire_node(NodeId node);
+
+  /// (Re-)admit a latent or retired node. Frames already in flight at
+  /// admission time are *not* delivered to it (it was not listening when
+  /// they were sent — and the rule keeps grid and brute delivery
+  /// identical, see DESIGN.md "Fault injection & open membership").
+  /// Idempotent; never callable during a fan-out phase.
+  void revive_node(NodeId node);
+
+  /// True when @p node is currently a live member (registered alive, or
+  /// revived and not since retired).
+  bool node_alive(NodeId node) const { return nodes_.at(node).alive; }
+
+  /// Number of currently live members (<= node_count()).
+  size_t alive_count() const;
 
   /// Put a frame on the air now. Serialization + propagation delay apply.
   void transmit(FramePtr frame, SendCompleteCallback on_complete = nullptr);
@@ -279,6 +309,12 @@ class Medium {
     ReceiveCallback on_receive;
     /// Per-node multiplier on params_.range_m (hetero.radio).
     double range_factor = 1.0;
+    /// Live member? Retired/latent nodes stay registered (ids are dense
+    /// and stable) but are invisible to every connectivity query.
+    bool alive = true;
+    /// When the node last became live (zero for setup-time members);
+    /// delivery eligibility compares it against a frame's start time.
+    TimePoint joined = TimePoint::zero();
   };
 
   /// One interferer of an in-flight transmission: enough state to decide
@@ -319,6 +355,18 @@ class Medium {
   /// the decision logic, and its shared-stream draw order, has one home.
   bool decide_one(const ActiveTx& tx, NodeId receiver, Vec2 receiver_pos,
                   TxReport& report);
+
+  /// Membership half of the delivery predicate, evaluated identically by
+  /// the grid and brute paths at delivery time: the receiver must be
+  /// alive *now* and must have joined no later than the frame's start.
+  /// (Eligible implies alive-at-start: a node dead at start and alive
+  /// now must have revived after start, i.e. joined > start.) Checked
+  /// before any stats or RNG draw, so with a fixed population it is
+  /// vacuously true and draw streams are untouched.
+  bool delivery_eligible(NodeId receiver, TimePoint tx_start) const {
+    const NodeEntry& e = nodes_[receiver];
+    return e.alive && e.joined <= tx_start;
+  }
 
   /// Parallel-mode delivery: claim every same-instant delivery batched
   /// behind @p first_id, decide all outcomes serially in canonical order,

@@ -64,6 +64,13 @@ void Radio::try_send() {
   });
 }
 
+void Radio::reset() {
+  queue_.clear();
+  attempt_scheduled_ = false;
+  transmitting_ = false;
+  cw_ = params_.cw_min;
+}
+
 void Radio::schedule_retry() {
   TimePoint idle_at = medium_.busy_until(node_);
   int slots = static_cast<int>(rng_.next_below(static_cast<uint64_t>(cw_)));

@@ -58,6 +58,14 @@ class Radio {
   /// Frames dropped after exhausting max_defers.
   uint64_t drops() const { return drops_; }
 
+  /// Crash/restart teardown for the fault layer: drop every queued frame
+  /// and forget the in-progress attempt (the backoff timer it guarded is
+  /// cancelled separately by `Scheduler::cancel_for_node`, and a
+  /// mid-flight transmission's completion callback is skipped by the
+  /// medium once the node is retired — without this reset those stranded
+  /// flags would deadlock the radio after a restart).
+  void reset();
+
  private:
   struct Pending {
     FramePtr frame;

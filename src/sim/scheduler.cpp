@@ -36,7 +36,32 @@ struct SlotBinding {
 };
 thread_local SlotBinding t_binding;
 
+/// The calling thread's owner attribution (see Scheduler::OwnerScope):
+/// which scheduler it stamps and with what owner. Like the slot binding,
+/// one level suffices per thread — nesting is handled by the scope's
+/// save/restore, not by a stack here.
+struct OwnerBinding {
+  Scheduler* sched = nullptr;
+  uint64_t owner = 0;
+};
+thread_local OwnerBinding t_owner;
+
 }  // namespace
+
+Scheduler::OwnerScope::OwnerScope(Scheduler& sched, uint64_t owner)
+    : prev_sched_(t_owner.sched), prev_owner_(t_owner.owner) {
+  t_owner.sched = &sched;
+  t_owner.owner = owner;
+}
+
+Scheduler::OwnerScope::~OwnerScope() {
+  t_owner.sched = prev_sched_;
+  t_owner.owner = prev_owner_;
+}
+
+uint64_t Scheduler::current_owner() const {
+  return t_owner.sched == this ? t_owner.owner : kNoOwner;
+}
 
 Scheduler::PhaseSlot* Scheduler::bound_slot() {
   if (!phase_active_ || t_binding.sched != this) return nullptr;
@@ -44,12 +69,14 @@ Scheduler::PhaseSlot* Scheduler::bound_slot() {
 }
 
 EventId Scheduler::push_entry(TimePoint at, uint64_t id, uint64_t tag,
+                              uint64_t owner,
                               std::shared_ptr<std::function<void()>> fn) {
   Entry e;
   e.at = at;
   e.seq = next_seq_++;
   e.id = id;
   e.tag = tag;
+  e.owner = owner;
   e.fn = std::move(fn);
   heap_.push_back(std::move(e));
   std::push_heap(heap_.begin(), heap_.end(), EntryCompare{});
@@ -75,6 +102,7 @@ EventId Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
     PhaseOp op;
     op.at = at;
     op.id = id;
+    op.owner = current_owner();
     op.fn = std::make_shared<std::function<void()>>(std::move(fn));
     slot->ops.push_back(std::move(op));
     return EventId{id};
@@ -84,7 +112,7 @@ EventId Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
         "Scheduler: schedule from an unbound thread during a phase");
   }
   const uint64_t id = next_id_++;
-  return push_entry(at, id, /*tag=*/0,
+  return push_entry(at, id, /*tag=*/0, current_owner(),
                     std::make_shared<std::function<void()>>(std::move(fn)));
 }
 
@@ -105,7 +133,10 @@ EventId Scheduler::schedule_tagged(TimePoint at, uint64_t tag,
   DAPES_TRACE_HERE(trace::EventType::kSchedSchedule,
                    static_cast<uint64_t>(at.us));
   const uint64_t id = next_id_++;
-  return push_entry(at, id, tag,
+  // Tagged events are deliberately unowned: they are the medium's
+  // in-flight frame deliveries, which must survive the sender's
+  // retirement (the frame is already on the air).
+  return push_entry(at, id, tag, kNoOwner,
                     std::make_shared<std::function<void()>>(std::move(fn)));
 }
 
@@ -142,6 +173,27 @@ bool Scheduler::cancel(EventId id) {
         "Scheduler: cancel from an unbound thread during a phase");
   }
   return apply_cancel(id.value);
+}
+
+size_t Scheduler::cancel_for_node(uint64_t owner) {
+  if (phase_active_) {
+    throw std::logic_error("Scheduler::cancel_for_node: phase open");
+  }
+  if (owner == kNoOwner) {
+    throw std::invalid_argument("Scheduler::cancel_for_node: kNoOwner");
+  }
+  // Collect first, cancel second: apply_cancel may trigger compact(),
+  // which rewrites heap_ mid-iteration.
+  std::vector<uint64_t> ids;
+  for (const Entry& e : heap_) {
+    if (e.owner == owner && !cancelled_.contains(e.id)) ids.push_back(e.id);
+  }
+  size_t cancelled = 0;
+  for (uint64_t id : ids) {
+    DAPES_TRACE_HERE(trace::EventType::kSchedCancel);
+    if (apply_cancel(id)) ++cancelled;
+  }
+  return cancelled;
 }
 
 void Scheduler::compact() {
@@ -227,7 +279,7 @@ size_t Scheduler::end_phase() {
       if (op.is_cancel) {
         apply_cancel(op.id);
       } else {
-        push_entry(op.at, op.id, /*tag=*/0, std::move(op.fn));
+        push_entry(op.at, op.id, /*tag=*/0, op.owner, std::move(op.fn));
       }
       ++applied;
     }
@@ -255,6 +307,9 @@ size_t Scheduler::run_until(TimePoint until) {
     // here, so a fire record would be engine-dependent. Their delivery
     // is traced by the medium instead.
     if (e.tag == 0) DAPES_TRACE_HERE(trace::EventType::kSchedFire);
+    // Re-install the entry's owner for the callback so events it
+    // schedules inherit attribution (see OwnerScope).
+    OwnerScope own(*this, e.owner);
     (*e.fn)();
   }
   // The clock always reaches the requested horizon, whether or not
@@ -281,6 +336,8 @@ size_t Scheduler::run() {
     // here, so a fire record would be engine-dependent. Their delivery
     // is traced by the medium instead.
     if (e.tag == 0) DAPES_TRACE_HERE(trace::EventType::kSchedFire);
+    // Same owner inheritance as run_until.
+    OwnerScope own(*this, e.owner);
     (*e.fn)();
   }
   return count;

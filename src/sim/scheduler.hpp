@@ -54,6 +54,32 @@ class Scheduler {
   /// `peek_horizon()` result when the queue is empty.
   static constexpr TimePoint kNoHorizon{std::numeric_limits<int64_t>::max()};
 
+  /// Owner value of events scheduled outside any OwnerScope. Not 0 —
+  /// node ids start at 0, so 0 must stay a usable owner.
+  static constexpr uint64_t kNoOwner = std::numeric_limits<uint64_t>::max();
+
+  /// RAII owner attribution for the fault-injection teardown sweep
+  /// (`cancel_for_node`): while a scope is alive on the calling thread,
+  /// every event that thread schedules into @p sched is stamped with
+  /// @p owner. Events fired by the run loop re-install their own owner
+  /// around the callback, so transitively scheduled events (retransmit
+  /// timers rescheduling themselves, CSMA backoff chains) inherit it
+  /// without any per-call plumbing. Scopes nest; the previous binding is
+  /// restored on destruction.
+  class OwnerScope {
+   public:
+    /// Install @p owner for @p sched on this thread.
+    OwnerScope(Scheduler& sched, uint64_t owner);
+    /// Restore the previous binding.
+    ~OwnerScope();
+    OwnerScope(const OwnerScope&) = delete;             ///< not copyable
+    OwnerScope& operator=(const OwnerScope&) = delete;  ///< not copyable
+
+   private:
+    Scheduler* prev_sched_;
+    uint64_t prev_owner_;
+  };
+
   /// An empty schedule at time zero.
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;             ///< not copyable
@@ -80,6 +106,18 @@ class Scheduler {
   /// no longer remembers old ids, so a stale cancel may return true; it
   /// is harmless either way).
   bool cancel(EventId id);
+
+  /// The owner the calling thread currently stamps onto scheduled events
+  /// (kNoOwner when no OwnerScope for this scheduler is active).
+  uint64_t current_owner() const;
+
+  /// Teardown sweep for a retired node: cancel every pending event owned
+  /// by @p owner (see OwnerScope), reusing the lazy-cancel + compaction
+  /// machinery so a mass retirement cannot bloat the heap. Tagged events
+  /// (in-flight medium deliveries) are never owned and are not touched.
+  /// Coordinator only — throws std::logic_error during a phase, and
+  /// std::invalid_argument for kNoOwner. Returns the number cancelled.
+  size_t cancel_for_node(uint64_t owner);
 
   /// Timestamp of the next live (non-cancelled) event, purging cancelled
   /// entries from the heap head on the way; `kNoHorizon` when empty. The
@@ -147,6 +185,8 @@ class Scheduler {
     uint64_t id = 0;
     /// Claim tag (0 = not claimable). See schedule_tagged/claim_tagged.
     uint64_t tag = 0;
+    /// Owning node for cancel_for_node (kNoOwner = unowned).
+    uint64_t owner = kNoOwner;
     std::shared_ptr<std::function<void()>> fn;
   };
   struct EntryCompare {
@@ -162,6 +202,8 @@ class Scheduler {
     bool is_cancel = false;
     TimePoint at;
     uint64_t id = 0;
+    /// Owner captured at staging time, re-applied by end_phase.
+    uint64_t owner = kNoOwner;
     std::shared_ptr<std::function<void()>> fn;
   };
   struct PhaseSlot {
@@ -180,7 +222,7 @@ class Scheduler {
   void purge_cancelled_head();
 
   /// Heap insertion shared by the direct and staged paths.
-  EventId push_entry(TimePoint at, uint64_t id, uint64_t tag,
+  EventId push_entry(TimePoint at, uint64_t id, uint64_t tag, uint64_t owner,
                      std::shared_ptr<std::function<void()>> fn);
 
   /// Cancel bookkeeping shared by the direct and staged paths.

@@ -68,6 +68,13 @@ enum class EventType : uint16_t {
   /// phase-parallel path, with the flag decided at commit time, so the
   /// merged trace is bit-identical across --trial-threads values.
   kCryptoPrewarm,
+  // Open membership / fault injection (DESIGN.md "Fault injection &
+  // open membership"). All emitted on the coordinator — membership never
+  // changes inside a phase — so they are engine-invariant by position.
+  kNodeJoin,     ///< node became live; args: 1 = revive/admission, 0 = setup
+  kNodeLeave,    ///< node retired from the medium
+  kFaultInject,  ///< fault plan event applied; args: FaultKind
+  kPeerLied,     ///< adversary advertised a false bitmap; args: claimed, real
 
   kCount  ///< number of event types (not a valid event)
 };
@@ -126,6 +133,10 @@ class EventTypeRegistryValues {
     put(EventType::kStratKnowledgeSuppress, "strategy.knowledge_suppress");
     put(EventType::kStratTimeout, "strategy.timeout");
     put(EventType::kCryptoPrewarm, "crypto.prewarm");
+    put(EventType::kNodeJoin, "node.join");
+    put(EventType::kNodeLeave, "node.leave");
+    put(EventType::kFaultInject, "fault.inject");
+    put(EventType::kPeerLied, "peer.lied");
   }
 
   /// Well-known name of @p t ("?" for an out-of-range id, which only a

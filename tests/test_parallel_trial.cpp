@@ -23,6 +23,7 @@
 #include "harness/scale.hpp"
 #include "harness/trial_runner.hpp"
 #include "sim/medium.hpp"
+#include "sim/mobility.hpp"
 #include "sim/parallel.hpp"
 #include "sim/scheduler.hpp"
 
@@ -161,6 +162,37 @@ TEST(ParallelTrial, RngDrawGuardTrips) {
   EXPECT_THROW((void)rng.uniform(0.0, 1.0), std::logic_error);
   in_phase.store(false);
   (void)rng.uniform(0.0, 1.0);
+}
+
+TEST(ParallelTrial, LifecycleGuardTripsInFanout) {
+  // Node membership may only change on the coordinator between phases:
+  // retire_node / add_node from a receive callback inside the parallel
+  // fan-out must throw loudly, not mutate nodes_ under the lanes' feet.
+  for (bool retire : {true, false}) {
+    SCOPED_TRACE(retire ? "retire_node" : "add_node");
+    sim::Scheduler sched;
+    sim::Medium::Params mp;
+    mp.range_m = 60.0;
+    mp.loss_rate = 0.0;
+    mp.trial_threads = 2;
+    sim::Medium medium(sched, mp, common::Rng(1));
+    sim::StationaryMobility a({0.0, 0.0});
+    sim::StationaryMobility b({10.0, 0.0});
+    medium.add_node(&a, nullptr);
+    medium.add_node(&b, [&](const sim::FramePtr&, sim::NodeId) {
+      if (retire) {
+        medium.retire_node(0);
+      } else {
+        medium.add_node(&a, nullptr);
+      }
+    });
+    auto f = std::make_shared<sim::Frame>();
+    f->sender = 0;
+    f->payload = common::Bytes(64, 0x2a);
+    f->kind = "probe";
+    sched.schedule_at(sim::TimePoint{0}, [&] { medium.transmit(f); });
+    EXPECT_THROW(sched.run(), std::logic_error);
+  }
 }
 
 TEST(ParallelTrial, ExecutorRunsEveryIndexOnce) {

@@ -338,6 +338,105 @@ TEST(Scheduler, PhasesDoNotNest) {
   EXPECT_THROW(sched.end_phase(), std::logic_error);
 }
 
+TEST(Scheduler, CancelForNodeSweepsOnlyThatOwner) {
+  Scheduler sched;
+  int owned = 0, other = 0, unowned = 0;
+  {
+    Scheduler::OwnerScope own(sched, 7);
+    sched.schedule(Duration::milliseconds(1), [&] { ++owned; });
+    sched.schedule(Duration::milliseconds(2), [&] { ++owned; });
+  }
+  {
+    Scheduler::OwnerScope own(sched, 8);
+    sched.schedule(Duration::milliseconds(1), [&] { ++other; });
+  }
+  sched.schedule(Duration::milliseconds(1), [&] { ++unowned; });
+  EXPECT_EQ(sched.cancel_for_node(7), 2u);
+  // A second sweep finds nothing left to cancel.
+  EXPECT_EQ(sched.cancel_for_node(7), 0u);
+  sched.run();
+  EXPECT_EQ(owned, 0);
+  EXPECT_EQ(other, 1);
+  EXPECT_EQ(unowned, 1);
+}
+
+TEST(Scheduler, OwnershipInheritedByTransitiveSchedules) {
+  // Events scheduled *from inside* an owned callback belong to the same
+  // owner: a node's retransmit chains die with it even though only the
+  // root event was scheduled under an explicit OwnerScope.
+  Scheduler sched;
+  int fired = 0;
+  {
+    Scheduler::OwnerScope own(sched, 3);
+    sched.schedule(Duration::milliseconds(1), [&] {
+      sched.schedule(Duration::milliseconds(1), [&] { ++fired; });
+    });
+  }
+  sched.run_until(TimePoint{1000});  // root fires, child inherits owner 3
+  EXPECT_EQ(sched.cancel_for_node(3), 1u);
+  sched.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, OwnerScopeRestoresPreviousOwner) {
+  Scheduler sched;
+  EXPECT_EQ(sched.current_owner(), Scheduler::kNoOwner);
+  {
+    Scheduler::OwnerScope outer(sched, 1);
+    EXPECT_EQ(sched.current_owner(), 1u);
+    {
+      Scheduler::OwnerScope inner(sched, 2);
+      EXPECT_EQ(sched.current_owner(), 2u);
+    }
+    EXPECT_EQ(sched.current_owner(), 1u);
+  }
+  EXPECT_EQ(sched.current_owner(), Scheduler::kNoOwner);
+}
+
+TEST(Scheduler, CancelForNodeSkipsTaggedDeliveries) {
+  // Tagged events model in-flight frames: they must survive the sender's
+  // sweep (the medium resolves dead senders at delivery time instead).
+  Scheduler sched;
+  int delivered = 0;
+  {
+    Scheduler::OwnerScope own(sched, 5);
+    sched.schedule_tagged(TimePoint{1000}, 42, [&] { ++delivered; });
+  }
+  EXPECT_EQ(sched.cancel_for_node(5), 0u);
+  sched.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Scheduler, CancelForNodeRejectsBadArgs) {
+  Scheduler sched;
+  EXPECT_THROW(sched.cancel_for_node(Scheduler::kNoOwner),
+               std::invalid_argument);
+  sched.begin_phase(1);
+  EXPECT_THROW(sched.cancel_for_node(0), std::logic_error);
+  sched.end_phase();
+}
+
+TEST(Scheduler, CancelForNodeComposesWithCompaction) {
+  // A sweep large enough to trip the compaction floor must still cancel
+  // every owned event and leave survivors intact (the sweep collects ids
+  // before cancelling precisely because compaction rewrites the heap).
+  Scheduler sched;
+  int owned = 0, kept = 0;
+  {
+    Scheduler::OwnerScope own(sched, 9);
+    for (int i = 0; i < 500; ++i) {
+      sched.schedule(Duration::milliseconds(1 + i), [&] { ++owned; });
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule(Duration::milliseconds(1 + i), [&] { ++kept; });
+  }
+  EXPECT_EQ(sched.cancel_for_node(9), 500u);
+  sched.run();
+  EXPECT_EQ(owned, 0);
+  EXPECT_EQ(kept, 10);
+}
+
 TEST(Scheduler, SelfReschedulingChainBounded) {
   Scheduler sched;
   int count = 0;
