@@ -30,6 +30,13 @@ Topology::Topology(const ScenarioParams& params, uint64_t seed,
     // from it). Derived from the trial seed with a fixed tag so it is
     // independent of execution order, like every other stream.
     mp.channel.link_seed = common::derive_seed(seed, 0x6368616eULL);
+    if (mp.channel.link_seed == 0) {
+      // SplitMix64 can (one seed in 2^64) output 0 — and 0 is exactly
+      // the "shared across every trial" foot-gun this derivation exists
+      // to close — so step the tag once more. Still a pure function of
+      // the trial seed.
+      mp.channel.link_seed = common::derive_seed(seed, 0x6368616fULL);
+    }
   }
   medium = std::make_unique<sim::Medium>(sched, mp, rng.fork());
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace dapes::sim {
@@ -18,9 +19,25 @@ namespace {
 constexpr double kCutSigmas = 4.0;
 constexpr double kCutSoftness = 8.0;
 
+/// Extra coverage headroom (dB) when a fast-fading stage is enabled: a
+/// constructive Rician/Rayleigh fade can lift a marginal link above the
+/// reception threshold, so the deterministic audibility cutoff widens by
+/// a fixed allowance (P(gain > 10 dB) < 5e-5 for Rayleigh) to keep the
+/// truncated mass negligible.
+constexpr double kCutFadingDb = 10.0;
+
 /// Distances below this (meters) clamp before entering log10: a
 /// co-located pair would otherwise produce an infinite margin.
 constexpr double kMinDistance = 1e-3;
+
+/// Stream-family tags for the keyed substreams of `link_seed` (see
+/// DESIGN.md's determinism discipline): distinct ASCII tags keep the
+/// burst process, the obstacle field and the quasi-static shadowing
+/// draws statistically independent of each other.
+constexpr uint64_t kBurstTag = 0x62757273ULL;   // "burs"
+constexpr uint64_t kFieldTag = 0x6669656cULL;   // "fiel"
+
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
 
 /// The paper's idealized channel, retained as the deterministic
 /// reference. Binary unit-disk connectivity at the nominal range,
@@ -51,11 +68,10 @@ class UnitDiskChannel final : public ChannelModel {
     return distance_m <= tx_range_m ? 1.0 : 0.0;
   }
 
-  bool receives(double distance_m, double tx_range_m, double loss_rate,
-                common::Rng& /*link_rng*/,
+  bool receives(const RxContext& rx, common::Rng& /*link_rng*/,
                 common::Rng& frame_rng) const override {
-    if (distance_m > tx_range_m) return false;
-    return !frame_rng.chance(loss_rate);
+    if (rx.distance_m > rx.tx_range_m) return false;
+    return !frame_rng.chance(rx.loss_rate);
   }
 
   bool captured(double own_distance_m, double /*own_range_m*/,
@@ -71,35 +87,63 @@ class UnitDiskChannel final : public ChannelModel {
   double capture_ratio_;
 };
 
-/// Log-distance path loss with optional log-normal shadowing, a logistic
-/// reception curve, an SIR-threshold capture rule, and a preamble-aware
+/// Log-distance path loss with the composable realism stack on top:
+/// optional log-normal shadowing (independent per pair, or spatially
+/// correlated through a shared `ShadowField`), optional Rayleigh/Rician
+/// fast fading per frame, an optional Gilbert-Elliott bursty erasure
+/// overlay, a logistic reception curve, an SIR-threshold capture rule,
+/// optional SIR-adaptive bitrate selection, and a preamble-aware
 /// airtime model.
 ///
 /// Everything is expressed as a link margin in dB relative to the
 /// transmitter's nominal range R (where the margin is 0):
 ///
-///   margin(d) = 10 * alpha * log10(R / d)  [+ N(0, sigma) shadowing]
+///   margin(d) = 10 * alpha * log10(R / d)
+///               [+ shadowing dB] [+ fading gain dB]
 ///
 /// Reception probability is logistic(margin / softness) — 0.5 at the
 /// nominal range, approaching a hard unit-disk step as softness -> 0 —
-/// scaled by (1 - loss_rate) for the medium's ambient loss. The nominal
-/// range doubles as the transmit-power proxy, so mixed-range radios
-/// (hetero.radio) fall out of the same formula, including capture:
-/// a frame is captured when its SIR advantage over the interferer,
-/// 10*alpha*log10((own_R/own_d) / (intf_R/intf_d)), meets the threshold.
+/// scaled by (1 - loss_rate) for the medium's ambient loss and by the
+/// burst process's survival probability in the link's current state.
+/// The nominal range doubles as the transmit-power proxy, so
+/// mixed-range radios (hetero.radio) fall out of the same formula,
+/// including capture: a frame is captured when its SIR advantage over
+/// the interferer, 10*alpha*log10((own_R/own_d) / (intf_R/intf_d)),
+/// meets the threshold.
+///
+/// Stage order in `receives` is part of the determinism contract: each
+/// disabled stage consumes *zero* draws, so configurations that only
+/// use the PR-5 knobs replay the exact pre-stack RNG stream (the golden
+/// hashes in tests/test_channel_models.cpp pin this).
 class LogDistanceChannel final : public ChannelModel {
  public:
+  enum class Fading { kNone, kRayleigh, kRician };
+
   explicit LogDistanceChannel(const ChannelParams& p)
       : alpha_(std::max(0.1, p.path_loss_exponent)),
         sigma_db_(std::max(0.0, p.shadowing_sigma_db)),
         softness_db_(std::max(0.0, p.softness_db)),
         capture_threshold_db_(p.capture_threshold_db),
         preamble_s_(std::max(0.0, p.preamble_us) * 1e-6),
+        fading_(parse_fading(p.fading)),
+        k_factor_(std::max(0.0, p.rician_k)),
+        ge_(p),
+        shadow_(p.link_seed, sigma_db_, std::max(0.0, p.shadowing_corr_m)),
+        adaptive_rate_(p.adaptive_rate),
+        rate_tiers_(p.rate_tiers),
+        rate_sir_full_db_(p.rate_sir_full_db),
+        rate_step_db_(std::max(0.0, p.rate_step_db)),
         // Solve margin(d) = -cut for d: the hard audibility cutoff.
         coverage_factor_(std::pow(
             10.0,
-            (kCutSigmas * sigma_db_ + kCutSoftness * softness_db_) /
-                (10.0 * alpha_))) {}
+            (kCutSigmas * sigma_db_ + kCutSoftness * softness_db_ +
+             (fading_ != Fading::kNone ? kCutFadingDb : 0.0)) /
+                (10.0 * alpha_))) {
+    if (adaptive_rate_ && (rate_tiers_ < 1 || rate_tiers_ > 16)) {
+      throw std::invalid_argument(
+          "ChannelParams::rate_tiers must be in [1, 16]");
+    }
+  }
 
   const std::string& name() const override {
     static const std::string n = "log-distance";
@@ -121,16 +165,34 @@ class LogDistanceChannel final : public ChannelModel {
     return curve(margin_db(distance_m, tx_range_m));
   }
 
-  bool receives(double distance_m, double tx_range_m, double loss_rate,
-                common::Rng& link_rng,
+  bool receives(const RxContext& rx, common::Rng& link_rng,
                 common::Rng& frame_rng) const override {
-    if (distance_m > coverage_m(tx_range_m)) return false;
-    double margin = margin_db(distance_m, tx_range_m);
-    // link_rng restarts from the same per-pair seed on every frame, so
-    // this draw is the link's fixed shadowing value for the whole trial.
-    if (sigma_db_ > 0.0) margin += sigma_db_ * link_rng.gaussian();
-    double p = curve(margin) * (1.0 - std::clamp(loss_rate, 0.0, 1.0));
+    if (rx.distance_m > coverage_m(rx.tx_range_m)) return false;
+    double margin = margin_db(rx.distance_m, rx.tx_range_m);
+    if (shadow_.enabled()) {
+      // Correlated shadowing: a pure sample of the shared obstacle
+      // field at the link midpoint — no draws, nearby links correlate.
+      margin += shadow_.sample_db(rx.mid_x, rx.mid_y);
+    } else if (sigma_db_ > 0.0) {
+      // link_rng restarts from the same per-pair seed on every frame,
+      // so this draw is the link's fixed shadowing value for the whole
+      // trial.
+      margin += sigma_db_ * link_rng.gaussian();
+    }
+    if (fading_ != Fading::kNone) {
+      margin += fading_gain_db(
+          frame_rng, fading_ == Fading::kRician ? k_factor_ : 0.0);
+    }
+    double p = curve(margin) * (1.0 - std::clamp(rx.loss_rate, 0.0, 1.0));
+    if (ge_.enabled()) {
+      p *= 1.0 - ge_.erasure(ge_.bad_at(rx.sender, rx.receiver, rx.time_s));
+    }
     return frame_rng.uniform01() < p;
+  }
+
+  int link_state(const RxContext& rx) const override {
+    if (!ge_.enabled()) return -1;
+    return ge_.bad_at(rx.sender, rx.receiver, rx.time_s) ? 1 : 0;
   }
 
   bool captured(double own_distance_m, double own_range_m,
@@ -141,7 +203,35 @@ class LogDistanceChannel final : public ChannelModel {
     return sir_db >= capture_threshold_db_;
   }
 
+  bool adaptive_rate() const override { return adaptive_rate_; }
+
+  double signal_margin_db(double distance_m,
+                          double tx_range_m) const override {
+    return margin_db(distance_m, tx_range_m);
+  }
+
+  double select_rate_bps(double base_rate_bps, double sir_db) const override {
+    // Monotone tier ladder: each step down halves the bitrate and
+    // relaxes the SIR requirement by rate_step_db. Never exceeds the
+    // base rate, so the medium's min_airtime lookahead stays a bound.
+    int tier = 0;
+    while (tier < rate_tiers_ - 1 &&
+           sir_db < rate_sir_full_db_ - tier * rate_step_db_) {
+      ++tier;
+    }
+    return base_rate_bps / static_cast<double>(1 << tier);
+  }
+
  private:
+  static Fading parse_fading(const std::string& name) {
+    if (name == "none") return Fading::kNone;
+    if (name == "rayleigh") return Fading::kRayleigh;
+    if (name == "rician") return Fading::kRician;
+    std::string msg = "unknown fading stage \"" + name + "\"; known:";
+    for (const auto& n : channel_fading_names()) msg += " " + n;
+    throw std::invalid_argument(msg);
+  }
+
   /// Mean link margin in dB at distance d from a transmitter of nominal
   /// range R: positive inside R, 0 at R, -10*alpha per decade beyond.
   double margin_db(double distance_m, double tx_range_m) const {
@@ -161,10 +251,112 @@ class LogDistanceChannel final : public ChannelModel {
   double softness_db_;
   double capture_threshold_db_;
   double preamble_s_;
+  Fading fading_;
+  double k_factor_;
+  GilbertElliott ge_;
+  ShadowField shadow_;
+  bool adaptive_rate_;
+  int rate_tiers_;
+  double rate_sir_full_db_;
+  double rate_step_db_;
   double coverage_factor_;
 };
 
 }  // namespace
+
+GilbertElliott::GilbertElliott(const ChannelParams& p) {
+  if (p.ge_bad_fraction <= 0.0) return;
+  if (p.ge_bad_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "ChannelParams::ge_bad_fraction must be below 1");
+  }
+  enabled_ = true;
+  pi_ = p.ge_bad_fraction;
+  slot_s_ = std::max(1e-6, p.ge_slot_ms * 1e-3);
+  // Continuous-time two-state chain: exit-bad rate mu fixes the mean
+  // burst length; the entry rate follows from stationarity. One slot of
+  // elapsed time then has the exact transition probabilities below
+  // (solve the two-state Kolmogorov forward equations).
+  const double mean_burst_s = std::max(slot_s_, p.ge_mean_burst_ms * 1e-3);
+  const double mu = 1.0 / mean_burst_s;
+  const double lambda = mu * pi_ / (1.0 - pi_);
+  const double decay = std::exp(-(lambda + mu) * slot_s_);
+  p_gb_ = pi_ * (1.0 - decay);
+  p_bb_ = pi_ + (1.0 - pi_) * decay;
+  bad_loss_ = std::clamp(p.ge_bad_loss, 0.0, 1.0);
+  good_loss_ = std::clamp(p.ge_good_loss, 0.0, 1.0);
+  root_ = common::derive_seed(p.link_seed, kBurstTag);
+}
+
+bool GilbertElliott::bad_at(uint32_t a, uint32_t b, double time_s) const {
+  const uint32_t lo = std::min(a, b);
+  const uint32_t hi = std::max(a, b);
+  const uint64_t pair_root =
+      common::derive_seed(common::derive_seed(root_, lo), hi);
+  const uint64_t slot =
+      static_cast<uint64_t>(std::max(0.0, time_s) / slot_s_);
+  const uint64_t block = slot / kBlockSlots;
+  const int offset = static_cast<int>(slot % kBlockSlots);
+  // One keyed substream per (pair, block): the anchor slot draws from
+  // the stationary distribution, then the chain walks forward with the
+  // closed-form per-slot transitions. Any two queries of the same slot
+  // replay the same uniforms, so the state is a pure function of time —
+  // and within a block, consecutive slots are exactly Markov, which is
+  // what gives geometric burst lengths.
+  common::Rng rng(common::derive_seed(pair_root, block));
+  bool bad = rng.uniform01() < pi_;
+  for (int i = 0; i < offset; ++i) {
+    bad = rng.uniform01() < (bad ? p_bb_ : p_gb_);
+  }
+  return bad;
+}
+
+ShadowField::ShadowField(uint64_t seed, double sigma_db, double corr_m) {
+  if (sigma_db <= 0.0 || corr_m <= 0.0) return;
+  // Spectral (sum-of-random-cosines) construction: M harmonics with
+  // N(0, 1/corr^2) wave vectors and uniform phases give a Gaussian
+  // field with covariance sigma^2 * exp(-d^2 / (2 corr^2)).
+  constexpr int kHarmonics = 64;
+  common::Rng rng(common::derive_seed(seed, kFieldTag));
+  harmonics_.reserve(kHarmonics);
+  const double inv_corr = 1.0 / corr_m;
+  for (int i = 0; i < kHarmonics; ++i) {
+    Harmonic h;
+    h.kx = rng.gaussian() * inv_corr;
+    h.ky = rng.gaussian() * inv_corr;
+    h.phase = rng.uniform01() * kTwoPi;
+    harmonics_.push_back(h);
+  }
+  amplitude_ = sigma_db * std::sqrt(2.0 / kHarmonics);
+}
+
+double ShadowField::sample_db(double x, double y) const {
+  double sum = 0.0;
+  for (const Harmonic& h : harmonics_) {
+    sum += std::cos(h.kx * x + h.ky * y + h.phase);
+  }
+  return amplitude_ * sum;
+}
+
+double fading_gain_db(common::Rng& rng, double k_factor) {
+  // Complex-Gaussian envelope with a line-of-sight component: power
+  // K/(K+1) in the deterministic ray, 1/(K+1) scattered, unit mean
+  // power overall. K = 0 is Rayleigh (exponential power).
+  const double k = std::max(0.0, k_factor);
+  const double los = std::sqrt(k / (k + 1.0));
+  const double sigma = std::sqrt(1.0 / (2.0 * (k + 1.0)));
+  const double re = los + sigma * rng.gaussian();
+  const double im = sigma * rng.gaussian();
+  const double power = std::max(re * re + im * im, 1e-12);
+  return 10.0 * std::log10(power);
+}
+
+double ChannelModel::signal_margin_db(double distance_m,
+                                      double tx_range_m) const {
+  return distance_m <= tx_range_m
+             ? 0.0
+             : -std::numeric_limits<double>::infinity();
+}
 
 ChannelModelPtr make_channel_model(const ChannelParams& params) {
   if (params.model == "unit-disk") {
@@ -180,6 +372,10 @@ ChannelModelPtr make_channel_model(const ChannelParams& params) {
 
 std::vector<std::string> channel_model_names() {
   return {"log-distance", "unit-disk"};
+}
+
+std::vector<std::string> channel_fading_names() {
+  return {"none", "rayleigh", "rician"};
 }
 
 }  // namespace dapes::sim

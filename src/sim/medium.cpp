@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -240,8 +241,35 @@ void Medium::transmit(FramePtr frame, SendCompleteCallback on_complete) {
                            std::to_string(sender) + " is retired");
   }
   const TimePoint start = sched_.now();
+  const Vec2 sender_pos = position_of(sender);
+
+  // SIR-adaptive bitrate: the sender estimates its worst-case SIR at the
+  // nominal-range edge (own margin 0 dB there) from the in-flight
+  // transmissions audible at its own position and lets the channel model
+  // pick a rate tier. An order-independent max fold over the full active
+  // set, evaluated identically in grid and brute modes, from start-time
+  // state only — so the chosen rate (and thus the end time) is a pure
+  // function of the transmission's start state.
+  double rate_bps = params_.data_rate_bps;
+  if (channel_->adaptive_rate()) {
+    double strongest = -std::numeric_limits<double>::infinity();
+    for (const auto& [other_id, other] : active_) {
+      if (!within_range(sender_pos, other.sender_pos, other.coverage_m)) {
+        continue;
+      }
+      strongest = std::max(
+          strongest, channel_->signal_margin_db(
+                         distance(sender_pos, other.sender_pos),
+                         other.range_m));
+    }
+    // No audible interferer -> SIR is +inf and the full rate wins.
+    rate_bps = channel_->select_rate_bps(params_.data_rate_bps, -strongest);
+  }
   const TimePoint end =
-      start + frame_duration(frame->payload.size()) + params_.propagation;
+      start +
+      channel_->airtime(frame->payload.size() + params_.frame_overhead_bytes,
+                        rate_bps) +
+      params_.propagation;
 
   ++stats_.transmissions;
   stats_.bytes_sent += frame->payload.size() + params_.frame_overhead_bytes;
@@ -253,7 +281,7 @@ void Medium::transmit(FramePtr frame, SendCompleteCallback on_complete) {
   ActiveTx tx;
   tx.id = id;
   tx.frame = frame;
-  tx.sender_pos = position_of(sender);
+  tx.sender_pos = sender_pos;
   tx.range_m = range_of(sender);
   tx.coverage_m = channel_->coverage_m(tx.range_m);
   tx.start = start;
@@ -296,7 +324,6 @@ void Medium::transmit(FramePtr frame, SendCompleteCallback on_complete) {
               [](const auto& a, const auto& b) { return a.first < b.first; });
   }
 
-  const Vec2 sender_pos = tx.sender_pos;
   active_.emplace(id, std::move(tx));
   if (!params_.brute_force) tx_grid_.insert(id, sender_pos);
   if (executor_) {
@@ -605,16 +632,35 @@ bool Medium::decide_one(const ActiveTx& tx, NodeId receiver,
   // unordered node pair — what makes shadowing quasi-static per link.
   // Keyed draws make outcomes independent of enumeration order and
   // spatial indexing.
+  RxContext rx;
+  rx.distance_m = own_dist;
+  rx.tx_range_m = tx.range_m;
+  rx.loss_rate = params_.loss_rate;
+  rx.sender = tx.frame->sender;
+  rx.receiver = receiver;
+  rx.tx_id = tx.id;
+  rx.time_s = tx.start.to_seconds();
+  rx.mid_x = 0.5 * (tx.sender_pos.x + receiver_pos.x);
+  rx.mid_y = 0.5 * (tx.sender_pos.y + receiver_pos.y);
   bool delivered;
   if (channel_->deterministic_reference()) {
-    delivered = channel_->receives(own_dist, tx.range_m, params_.loss_rate,
-                                   rng_, rng_);
+    delivered = channel_->receives(rx, rng_, rng_);
   } else {
+    // Bursty-erasure state snapshot for the trace. decide_one always
+    // runs on the coordinator in canonical order, so the emission is
+    // mode-invariant; link_state is a pure query, but not free, so only
+    // pay for it when a tracer is installed.
+    if (trace::active() != nullptr) {
+      const int state = channel_->link_state(rx);
+      if (state >= 0) {
+        DAPES_TRACE_EVENT(trace::EventType::kChannelState, receiver, tx.id,
+                          static_cast<uint64_t>(state));
+      }
+    }
     common::Rng frame_rng(common::derive_seed(
         common::derive_seed(params_.channel.link_seed, tx.id), receiver));
-    const NodeId sender = tx.frame->sender;
-    const NodeId lo = sender < receiver ? sender : receiver;
-    const NodeId hi = sender < receiver ? receiver : sender;
+    const NodeId lo = rx.sender < receiver ? rx.sender : receiver;
+    const NodeId hi = rx.sender < receiver ? receiver : rx.sender;
     // Distinct stream family for the per-link draws ("shad" tag), so a
     // link stream can never collide with a frame stream.
     common::Rng link_rng(common::derive_seed(
@@ -622,8 +668,7 @@ bool Medium::decide_one(const ActiveTx& tx, NodeId receiver,
             common::derive_seed(params_.channel.link_seed, 0x73686164ULL),
             lo),
         hi));
-    delivered = channel_->receives(own_dist, tx.range_m, params_.loss_rate,
-                                   link_rng, frame_rng);
+    delivered = channel_->receives(rx, link_rng, frame_rng);
   }
   if (!delivered) {
     ++stats_.losses;

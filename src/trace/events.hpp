@@ -75,6 +75,12 @@ enum class EventType : uint16_t {
   kNodeLeave,    ///< node retired from the medium
   kFaultInject,  ///< fault plan event applied; args: FaultKind
   kPeerLied,     ///< adversary advertised a false bitmap; args: claimed, real
+  // Channel realism stack (DESIGN.md "Channel realism round two").
+  /// Bursty-erasure link state observed at a reception decision; args:
+  /// tx id, state (0 good / 1 bad). Emitted on the coordinator in
+  /// decide_one's canonical order, so trace content stays invariant
+  /// across engine modes; only models running a burst process emit it.
+  kChannelState,
 
   kCount  ///< number of event types (not a valid event)
 };
@@ -137,6 +143,7 @@ class EventTypeRegistryValues {
     put(EventType::kNodeLeave, "node.leave");
     put(EventType::kFaultInject, "fault.inject");
     put(EventType::kPeerLied, "peer.lied");
+    put(EventType::kChannelState, "channel.state");
   }
 
   /// Well-known name of @p t ("?" for an out-of-range id, which only a

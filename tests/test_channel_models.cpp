@@ -76,6 +76,47 @@ INSTANTIATE_TEST_SUITE_P(Seeds, UnitDiskGolden,
                          ::testing::Range<uint64_t>(1, 13));
 
 // ---------------------------------------------------------------------
+// 1b. Plain log-distance: zero drift for existing configs.
+// ---------------------------------------------------------------------
+
+/// Golden log hashes of the same 12 worlds under a fixed plain
+/// log-distance configuration (PR-5 knobs only: alpha 3, sigma 6 dB,
+/// softness 2 dB, link_seed derived per seed), captured when the
+/// channel realism stack (Gilbert-Elliott bursts, fading, correlated
+/// shadowing, adaptive rate) was introduced. The stack's contract is
+/// that every disabled stage consumes *zero* draws, so configurations
+/// predating it replay the exact same RNG streams — any new stage that
+/// sneaks a draw into the default path shows up here.
+constexpr uint64_t kLogDistanceHashes[12] = {
+    0x3f612ffa6c90f2a0ULL, 0xf667ddb989d91e91ULL, 0x667831f5a45d4fd0ULL,
+    0xeba61f54dc60780aULL, 0x2bd689030dad40a8ULL, 0x42fe84b2d55efb58ULL,
+    0x30234695a38b49bbULL, 0xebbe0c2d50bf7ff2ULL, 0xe7d8b99de5176a10ULL,
+    0x7928f99ca59d9058ULL, 0xa1fd92a4b960350aULL, 0x2db040f8a7c9b908ULL,
+};
+
+class LogDistanceGolden : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LogDistanceGolden, PlainLogDistanceConfigHasZeroDrift) {
+  const uint64_t seed = GetParam();
+  ChannelParams cp;
+  cp.model = "log-distance";
+  cp.path_loss_exponent = 3.0;
+  cp.shadowing_sigma_db = 6.0;
+  cp.softness_db = 2.0;
+  cp.link_seed = common::derive_seed(seed, 78);
+  for (bool brute : {false, true}) {
+    World w;
+    build_world(w, seed, brute, &cp);
+    w.sched.run();
+    EXPECT_EQ(world_hash(w), kLogDistanceHashes[seed - 1])
+        << "seed=" << seed << " brute=" << brute;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LogDistanceGolden,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------
 // 2. Log-distance reception curve.
 // ---------------------------------------------------------------------
 
